@@ -1,0 +1,88 @@
+// Command ablation sweeps the accelerator's design parameters: the
+// transaction-cache capacity, the overflow high-water mark, and the
+// core's memory-level-parallelism window.
+//
+// Usage:
+//
+//	ablation                      # all sweeps on default benchmarks
+//	ablation -sweep tcsize -bench sps
+//	ablation -sweep highwater -bench btree
+//	ablation -sweep mlp -bench rbtree -mech optimal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmemaccel"
+	"pmemaccel/internal/ablation"
+	"pmemaccel/internal/mechanism"
+	"pmemaccel/internal/workload"
+)
+
+func main() {
+	var (
+		sweepName = flag.String("sweep", "", "tcsize, highwater, mlp, or nvmtech (empty = all)")
+		benchName = flag.String("bench", "", "benchmark (default depends on sweep)")
+		mechName  = flag.String("mech", "tcache", "mechanism (mlp sweep only)")
+		ops       = flag.Int("ops", 0, "operations per core (0 = sweep default)")
+	)
+	flag.Parse()
+
+	mech, err := mechanism.ParseKind(*mechName)
+	if err != nil {
+		fatal(err)
+	}
+	pick := func(def workload.Benchmark) workload.Benchmark {
+		if *benchName == "" {
+			return def
+		}
+		b, err := workload.ParseBenchmark(*benchName)
+		if err != nil {
+			fatal(err)
+		}
+		return b
+	}
+	base := func(b workload.Benchmark, m pmemaccel.Kind) pmemaccel.Config {
+		cfg := ablation.QuickBase(b, m)
+		if *ops > 0 {
+			cfg.Ops = *ops
+		}
+		return cfg
+	}
+
+	run := func(name string) {
+		var s *ablation.Sweep
+		var err error
+		switch name {
+		case "tcsize":
+			s, err = ablation.TCSize(base(pick(workload.SPS), pmemaccel.TCache), ablation.DefaultTCSizes)
+		case "highwater":
+			s, err = ablation.HighWater(base(pick(workload.BTree), pmemaccel.TCache), ablation.DefaultHighWaters)
+		case "mlp":
+			s, err = ablation.MLP(base(pick(workload.RBTree), mech), ablation.DefaultMLPs)
+		case "nvmtech":
+			s, err = ablation.NVMTechnology(base(pick(workload.SPS), mech), pmemaccel.NVMTechs)
+		default:
+			fatal(fmt.Errorf("unknown sweep %q", name))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(s.Table())
+	}
+
+	if *sweepName != "" {
+		run(*sweepName)
+		return
+	}
+	for _, name := range []string{"tcsize", "highwater", "mlp", "nvmtech"} {
+		run(name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ablation:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command paperrepro regenerates the paper's evaluation: Figures 6-10 as
+// normalized tables (and optional bar charts), the §5.2 transaction-cache
+// stall observation, and Tables 1-3.
+//
+// Usage:
+//
+//	paperrepro                 # full grid, all figures
+//	paperrepro -fig 9          # one figure
+//	paperrepro -table1         # hardware-overhead table only
+//	paperrepro -config         # Table 2 machine configuration
+//	paperrepro -workloads      # Table 3 workload descriptions
+//	paperrepro -stalls         # TC-full stall fractions
+//	paperrepro -bars -csv ...  # output formats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pmemaccel"
+	"pmemaccel/internal/figures"
+	"pmemaccel/internal/hwcost"
+	"pmemaccel/internal/workload"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "regenerate one figure (6..10); 0 = all")
+		table1    = flag.Bool("table1", false, "print Table 1 (hardware overhead) and exit")
+		config    = flag.Bool("config", false, "print the Table 2 machine configuration and exit")
+		workloads = flag.Bool("workloads", false, "print the Table 3 workload list and exit")
+		stalls    = flag.Bool("stalls", false, "print TC-full stall fractions (§5.2)")
+		bars      = flag.Bool("bars", false, "render figures as bar charts")
+		csv       = flag.Bool("csv", false, "render figures as CSV")
+		markdown  = flag.Bool("markdown", false, "render figures as markdown tables (EXPERIMENTS.md format)")
+		ops       = flag.Int("ops", 0, "operations per core (0 = default)")
+		scale     = flag.Int("scale", 0, "cache scale divisor (0 = default 64; 1 = full Table 2 machine)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *table1 {
+		fmt.Print(hwcost.Config{
+			Cores: 4, TCBytes: 4 << 10, TCEntryBytes: 64, LineBytes: 64,
+			L1Bytes: 32 << 10, L2Bytes: 256 << 10, LLCBytes: 64 << 20,
+		}.Render())
+		return
+	}
+	if *config {
+		printMachineConfig()
+		return
+	}
+	if *workloads {
+		fmt.Println("Table 3: Workloads")
+		for _, b := range workload.All {
+			fmt.Printf("  %-10s %s\n", b, b.Description())
+		}
+		return
+	}
+
+	configure := func(b workload.Benchmark, m pmemaccel.Kind) pmemaccel.Config {
+		cfg := pmemaccel.DefaultConfig(b, m)
+		if *ops > 0 {
+			cfg.Ops = *ops
+		}
+		if *scale > 0 {
+			cfg.Scale = *scale
+		}
+		cfg.Seed = *seed
+		return cfg
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "running %d x %d grid...\n", len(workload.All), len(figures.Mechs))
+	grid, err := figures.Run(workload.All, figures.Mechs, configure,
+		func(b workload.Benchmark, m pmemaccel.Kind, r *pmemaccel.Result) {
+			fmt.Fprintf(os.Stderr, "  %v\n", r)
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "grid complete in %v\n\n", time.Since(start).Round(time.Second))
+
+	which := []int{6, 7, 8, 9, 10}
+	if *fig != 0 {
+		which = []int{*fig}
+	}
+	for _, n := range which {
+		s, err := grid.Figure(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			os.Exit(1)
+		}
+		switch {
+		case *markdown:
+			fmt.Print(s.Markdown())
+		case *csv:
+			fmt.Println(s.Name)
+			fmt.Print(s.CSV())
+		case *bars:
+			fmt.Print(s.Bars(40))
+		default:
+			fmt.Print(s.Table())
+		}
+		fmt.Println()
+	}
+	if *stalls || *fig == 0 {
+		fmt.Print(grid.StallTable())
+		fmt.Println()
+	}
+	fmt.Print(grid.Summary())
+}
+
+func printMachineConfig() {
+	fmt.Println(`Table 2: Machine Configuration (simulated; Scale divides capacities)
+  CPU                4 cores, 2 GHz, 4-issue, MLP window 8
+  L1 I/D             Private, 32 KB/core, 0.5 ns (1 cy), 4-way
+  L2                 Private, 256 KB/core, 4.5 ns (9 cy), 8-way
+  L3 (LLC)           Shared, 64 MB, 10 ns (20 cy), 16-way
+  Transaction cache  Private, 4 KB/core, fully-assoc CAM FIFO, 0.5 ns (1 cy)
+  Memory controllers 8/64-entry read/write queues; read-first,
+                     write drain at 80% full
+  NVM (STT-RAM)      32 banks, 65 ns read (130 cy), 76 ns write (152 cy)
+  DRAM               DDR3-like, 32 banks`)
+}

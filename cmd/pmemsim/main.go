@@ -1,0 +1,111 @@
+// Command pmemsim runs one (benchmark, mechanism) simulation and prints
+// the measured metrics.
+//
+// Usage:
+//
+//	pmemsim -bench rbtree -mech tcache [-ops 12000] [-scale 64] \
+//	        [-cores 4] [-seed 1] [-tc 4096] [-paper] [-v]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pmemaccel"
+	"pmemaccel/internal/cpu"
+	"pmemaccel/internal/mechanism"
+	"pmemaccel/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "rbtree", "benchmark: graph, rbtree, sps, btree, hashtable")
+		mechName  = flag.String("mech", "tcache", "mechanism: sp, tcache, kiln, optimal")
+		ops       = flag.Int("ops", 0, "operations per core (0 = default)")
+		initial   = flag.Int("initial", 0, "prepopulated elements per core (0 = auto-size to the LLC)")
+		scale     = flag.Int("scale", 0, "cache scale divisor, power of two (0 = default)")
+		cores     = flag.Int("cores", 0, "core count (0 = 4)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		tcBytes   = flag.Int("tc", 0, "transaction cache bytes per core (0 = 4096)")
+		paper     = flag.Bool("paper", false, "use the full Table 2 machine (Scale 1; slow)")
+		verbose   = flag.Bool("v", false, "print per-core and subsystem detail")
+		asJSON    = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	b, err := workload.ParseBenchmark(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := mechanism.ParseKind(*mechName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := pmemaccel.DefaultConfig(b, m)
+	if *paper {
+		cfg = pmemaccel.PaperConfig(b, m)
+	}
+	if *ops > 0 {
+		cfg.Ops = *ops
+	}
+	if *initial > 0 {
+		cfg.InitialSize = *initial
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *cores > 0 {
+		cfg.Cores = *cores
+	}
+	if *tcBytes > 0 {
+		cfg.TCBytes = *tcBytes
+	}
+	cfg.Seed = *seed
+
+	start := time.Now()
+	sys, err := pmemaccel.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	fmt.Println(res)
+	fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *verbose {
+		fmt.Printf("\nL1 miss %.2f%%  L2 miss %.2f%%  LLC miss %.2f%%\n",
+			res.L1MissRate*100, res.L2MissRate*100, res.LLCMissRate*100)
+		fmt.Printf("NVM : %+v\n", res.NVM)
+		fmt.Printf("DRAM: %+v\n", res.DRAM)
+		fmt.Printf("hier: %+v\n", sys.Hier.Stats())
+		for c, st := range res.PerCore {
+			fmt.Printf("core %d: inst=%d loads=%d stores=%d tx=%d stalls{load=%d sbuf=%d retry=%d fence=%d commit=%d}\n",
+				c, st.Instructions, st.Loads, st.Stores, st.Transactions,
+				st.StallLoad, st.StallStoreBuf, st.StallStoreRetry, st.StallFence, st.StallCommit)
+		}
+		for c, tc := range res.TC {
+			fmt.Printf("tc %d: %+v\n", c, tc)
+		}
+		fmt.Printf("tc-full stall fraction: %.4f%%\n",
+			res.StallFraction(func(s cpu.Stats) uint64 { return s.StallStoreRetry })/
+				float64(len(res.PerCore))*100)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmemsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+// Command tracedump prints a workload's memory-reference trace — and,
+// with -mech sp, the trace as the software-logging rewriter transforms it
+// — for inspection and debugging.
+//
+// Usage:
+//
+//	tracedump -bench rbtree -n 60
+//	tracedump -bench sps -mech sp -n 80      # see the injected logging
+//	tracedump -bench btree -stats            # composition summary only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmemaccel/internal/mechanism"
+	"pmemaccel/internal/memaddr"
+	"pmemaccel/internal/memctrl"
+	"pmemaccel/internal/memimage"
+	"pmemaccel/internal/sim"
+	"pmemaccel/internal/trace"
+	"pmemaccel/internal/txcache"
+	"pmemaccel/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "rbtree", "benchmark")
+		mechName  = flag.String("mech", "", "rewrite view: sp (empty = raw trace)")
+		n         = flag.Int("n", 50, "records to print")
+		skip      = flag.Int("skip", 0, "records to skip first")
+		initial   = flag.Int("initial", 500, "prepopulated elements")
+		ops       = flag.Int("ops", 20, "measured operations")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		statsOnly = flag.Bool("stats", false, "print composition summary only")
+	)
+	flag.Parse()
+
+	b, err := workload.ParseBenchmark(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	p := workload.DefaultParams(b, 0, 1, *seed, *initial, *ops)
+	out, err := workload.Generate(b, p)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *statsOnly {
+		s := trace.Summarize(out.Trace)
+		fmt.Printf("%s: %d records, %d instructions\n", b, s.Records, s.Instructions)
+		fmt.Printf("  loads:  %d (%d persistent)\n", s.Loads, s.PersistentLoads)
+		fmt.Printf("  stores: %d (%d persistent)\n", s.Stores, s.PersistentStores)
+		fmt.Printf("  transactions: %d (max %d persistent stores in one)\n",
+			s.Transactions, s.MaxTxStores)
+		return
+	}
+
+	var rd trace.Reader = trace.NewReader(out.Trace)
+	if *mechName == "sp" {
+		// Build a minimal environment just to drive the rewriter.
+		k := sim.NewKernel()
+		env := &mechanism.Env{
+			K: k, Cores: 1,
+			Router:  memctrl.NewRouter(k, memctrl.Config{Name: "NVM"}, memctrl.Config{Name: "DRAM"}),
+			Live:    memimage.New(),
+			Durable: memimage.New(),
+			TC:      txcache.Config{},
+		}
+		rd = mechanism.New(mechanism.SP, env).Rewrite(0, rd)
+	} else if *mechName != "" {
+		fatal(fmt.Errorf("only -mech sp rewrites the trace"))
+	}
+
+	for i := 0; i < *skip; i++ {
+		if _, ok := rd.Next(); !ok {
+			return
+		}
+	}
+	for i := 0; i < *n; i++ {
+		rec, ok := rd.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("%5d  %s\n", *skip+i, format(rec))
+	}
+}
+
+func format(r trace.Record) string {
+	switch r.Kind {
+	case trace.KindCompute:
+		return fmt.Sprintf("compute  x%d", r.N)
+	case trace.KindLoad:
+		dep := ""
+		if r.Dep {
+			dep = " (dep)"
+		}
+		return fmt.Sprintf("load     %#x [%s]%s", r.Addr, memaddr.Classify(r.Addr), dep)
+	case trace.KindStore:
+		return fmt.Sprintf("store    %#x [%s] <- %d", r.Addr, memaddr.Classify(r.Addr), r.Value)
+	case trace.KindTxBegin:
+		return fmt.Sprintf("tx_begin %d", r.TxID)
+	case trace.KindTxEnd:
+		return fmt.Sprintf("tx_end   %d", r.TxID)
+	case trace.KindCLWB:
+		return fmt.Sprintf("clwb     %#x", memaddr.LineAddr(r.Addr))
+	case trace.KindCLFlush:
+		return fmt.Sprintf("clflush  %#x", memaddr.LineAddr(r.Addr))
+	case trace.KindSFence:
+		return "sfence"
+	default:
+		return fmt.Sprintf("%+v", r)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracedump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// crashrecovery: pull the plug mid-run and watch recovery work (or, for
+// the no-persistence baseline, fail). Demonstrates the §3 guarantee: the
+// nonvolatile transaction cache makes every committed transaction
+// recoverable and every uncommitted one invisible.
+//
+//	go run ./examples/crashrecovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmemaccel"
+	"pmemaccel/internal/recovery"
+	"pmemaccel/internal/workload"
+)
+
+func main() {
+	base := func(m pmemaccel.Kind) pmemaccel.Config {
+		cfg := pmemaccel.DefaultConfig(workload.RBTree, m)
+		cfg.Scale = 128
+		cfg.InitialSize = 3000
+		cfg.Ops = 800
+		return cfg
+	}
+
+	horizon, err := recovery.Horizon(base(pmemaccel.TCache))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("red-black tree workload, %d-cycle horizon\n\n", horizon)
+
+	for _, m := range []pmemaccel.Kind{pmemaccel.TCache, pmemaccel.Optimal} {
+		fmt.Printf("=== %v ===\n", m)
+		trials, violations, err := recovery.Sweep(base(m), 5, horizon, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, tr := range trials {
+			fmt.Printf("  %v\n", tr)
+		}
+		switch {
+		case m == pmemaccel.TCache && violations == 0:
+			fmt.Println("  -> every crash recovered to a valid tree containing exactly the")
+			fmt.Println("     committed inserts: multi-versioning + FIFO write ordering at work")
+		case m == pmemaccel.Optimal && violations > 0:
+			fmt.Printf("  -> %d/%d crashes corrupted NVM: reordered cache write-backs left\n",
+				violations, len(trials))
+			fmt.Println("     dangling pointers — the motivating failure of the paper's Figure 2")
+		default:
+			fmt.Println("  -> unexpected outcome; investigate")
+		}
+		fmt.Println()
+	}
+}

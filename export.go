@@ -1,0 +1,85 @@
+package pmemaccel
+
+import (
+	"encoding/json"
+
+	"pmemaccel/internal/cpu"
+)
+
+// Export is the JSON-friendly projection of a Result, for downstream
+// tooling (plotting scripts, regression dashboards).
+type Export struct {
+	Benchmark string `json:"benchmark"`
+	Mechanism string `json:"mechanism"`
+	Cores     int    `json:"cores"`
+	Scale     int    `json:"scale"`
+	Seed      uint64 `json:"seed"`
+	Ops       int    `json:"ops_per_core"`
+
+	Cycles       uint64  `json:"cycles"`
+	Instructions uint64  `json:"instructions"`
+	Transactions uint64  `json:"transactions"`
+	IPC          float64 `json:"ipc"`
+	Throughput   float64 `json:"tx_per_kcycle"`
+
+	L1MissRate  float64 `json:"l1_miss_rate"`
+	L2MissRate  float64 `json:"l2_miss_rate"`
+	LLCMissRate float64 `json:"llc_miss_rate"`
+
+	NVMReads  uint64 `json:"nvm_reads"`
+	NVMWrites uint64 `json:"nvm_writes"`
+	DRAMReads uint64 `json:"dram_reads"`
+
+	PloadMean float64 `json:"pload_mean_cycles"`
+	PloadP50  uint64  `json:"pload_p50_cycles"`
+	PloadP99  uint64  `json:"pload_p99_cycles"`
+
+	NVMLinesTouched int     `json:"nvm_lines_touched"`
+	NVMWearMax      uint64  `json:"nvm_wear_max"`
+	NVMWearHotness  float64 `json:"nvm_wear_hotness"`
+
+	TCFullStallPct   float64 `json:"tc_full_stall_pct"`
+	DurableDiffCount int     `json:"durable_diff_count"`
+}
+
+// Export builds the JSON projection.
+func (r *Result) Export() Export {
+	e := Export{
+		Benchmark:    r.Config.Benchmark.String(),
+		Mechanism:    r.Config.Mechanism.String(),
+		Cores:        r.Config.Cores,
+		Scale:        r.Config.Scale,
+		Seed:         r.Config.Seed,
+		Ops:          r.Config.Ops,
+		Cycles:       r.Cycles,
+		Instructions: r.TotalInstructions(),
+		Transactions: r.TotalTransactions(),
+		IPC:          r.IPC(),
+		Throughput:   r.Throughput(),
+		L1MissRate:   r.L1MissRate,
+		L2MissRate:   r.L2MissRate,
+		LLCMissRate:  r.LLCMissRate,
+		NVMReads:     r.NVM.Reads,
+		NVMWrites:    r.NVM.Writes,
+		DRAMReads:    r.DRAM.Reads,
+		PloadMean:    r.AvgPersistentLoadLatency(),
+		PloadP50:     r.PloadP50,
+		PloadP99:     r.PloadP99,
+
+		NVMLinesTouched:  r.NVMLinesTouched,
+		NVMWearMax:       r.NVMWearMax,
+		NVMWearHotness:   r.NVMWearHotness,
+		DurableDiffCount: r.DurableDiffCount,
+	}
+	if len(r.PerCore) > 0 {
+		e.TCFullStallPct = r.StallFraction(func(s cpu.Stats) uint64 { return s.StallStoreRetry }) /
+			float64(len(r.PerCore)) * 100
+	}
+	return e
+}
+
+// MarshalJSON serializes the Result through its Export projection, so
+// `json.Marshal(result)` just works.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Export())
+}

@@ -1,0 +1,3 @@
+module pmemaccel
+
+go 1.22

@@ -1,0 +1,152 @@
+// Package ablation sweeps the design parameters the paper identifies as
+// knobs: transaction-cache capacity ("flexibly configured based on the
+// transaction sizes", §3), the overflow high-water mark (§4.1), the TC
+// drain bandwidth, NVM write latency (technology sensitivity), and the
+// core's memory-level parallelism. Each sweep varies exactly one
+// parameter and reports throughput plus the mechanism-specific pressure
+// counters, producing the data behind examples/designspace and
+// BenchmarkAblation*.
+package ablation
+
+import (
+	"fmt"
+	"strings"
+
+	"pmemaccel"
+	"pmemaccel/internal/cpu"
+	"pmemaccel/internal/workload"
+)
+
+// Point is one sweep sample.
+type Point struct {
+	// Label names the parameter value ("4KB", "0.9", ...).
+	Label string
+	// Value is the numeric parameter value.
+	Value float64
+	// Throughput in transactions per kilocycle.
+	Throughput float64
+	// IPC of the run.
+	IPC float64
+	// StallPct is the TC-full stall share of cycles (TCache runs).
+	StallPct float64
+	// FallbackWrites and FullRejects are TC pressure counters summed
+	// across cores.
+	FallbackWrites uint64
+	FullRejects    uint64
+}
+
+// Sweep is a named series of points.
+type Sweep struct {
+	Name   string
+	Points []Point
+}
+
+// Table renders the sweep.
+func (s *Sweep) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Name)
+	fmt.Fprintf(&b, "%-10s %12s %8s %10s %12s %12s\n",
+		"value", "tx/kcycle", "IPC", "stall %", "fallbacks", "rejects")
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%-10s %12.3f %8.3f %9.3f%% %12d %12d\n",
+			p.Label, p.Throughput, p.IPC, p.StallPct, p.FallbackWrites, p.FullRejects)
+	}
+	return b.String()
+}
+
+func measure(cfg pmemaccel.Config, label string, value float64) (Point, error) {
+	res, err := pmemaccel.Run(cfg)
+	if err != nil {
+		return Point{}, err
+	}
+	p := Point{
+		Label:      label,
+		Value:      value,
+		Throughput: res.Throughput(),
+		IPC:        res.IPC(),
+	}
+	p.StallPct = res.StallFraction(func(s cpu.Stats) uint64 { return s.StallStoreRetry }) /
+		float64(len(res.PerCore)) * 100
+	for _, tc := range res.TC {
+		p.FallbackWrites += tc.FallbackWrites
+		p.FullRejects += tc.FullRejects
+	}
+	return p, nil
+}
+
+// TCSize sweeps the transaction-cache capacity on a benchmark.
+func TCSize(base pmemaccel.Config, sizes []int) (*Sweep, error) {
+	s := &Sweep{Name: fmt.Sprintf("TC capacity sweep (%v)", base.Benchmark)}
+	for _, bytes := range sizes {
+		cfg := base
+		cfg.TCBytes = bytes
+		p, err := measure(cfg, fmt.Sprintf("%dB", bytes), float64(bytes))
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}
+
+// HighWater sweeps the overflow trigger fraction.
+func HighWater(base pmemaccel.Config, fracs []float64) (*Sweep, error) {
+	s := &Sweep{Name: fmt.Sprintf("overflow high-water sweep (%v)", base.Benchmark)}
+	for _, f := range fracs {
+		cfg := base
+		cfg.TCHighWaterFrac = f
+		p, err := measure(cfg, fmt.Sprintf("%.2f", f), f)
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}
+
+// MLP sweeps the core's memory-level-parallelism window.
+func MLP(base pmemaccel.Config, windows []int) (*Sweep, error) {
+	s := &Sweep{Name: fmt.Sprintf("MLP window sweep (%v/%v)", base.Benchmark, base.Mechanism)}
+	for _, w := range windows {
+		cfg := base
+		cfg.CPU.MLP = w
+		p, err := measure(cfg, fmt.Sprintf("%d", w), float64(w))
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}
+
+// Default sweeps used by the CLI and benches.
+var (
+	DefaultTCSizes    = []int{256, 512, 1024, 2048, 4096, 8192, 16384}
+	DefaultHighWaters = []float64{0.5, 0.7, 0.9, 1.0}
+	DefaultMLPs       = []int{1, 2, 4, 8, 16}
+)
+
+// QuickBase returns a fast base configuration for sweeps.
+func QuickBase(b workload.Benchmark, m pmemaccel.Kind) pmemaccel.Config {
+	cfg := pmemaccel.DefaultConfig(b, m)
+	cfg.Ops = 4000
+	return cfg
+}
+
+// NVMTechnology sweeps the nonvolatile-memory technology class,
+// measuring how the accelerator's advantage shifts with write latency
+// (slower writes make software logging's fenced round-trips worse and
+// stress the TC drain path harder).
+func NVMTechnology(base pmemaccel.Config, techs []pmemaccel.NVMTech) (*Sweep, error) {
+	s := &Sweep{Name: fmt.Sprintf("NVM technology sweep (%v/%v)", base.Benchmark, base.Mechanism)}
+	for _, tech := range techs {
+		cfg := base
+		cfg.NVMTech = tech
+		p, err := measure(cfg, tech.String(), float64(tech))
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}

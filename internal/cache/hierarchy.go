@@ -1,0 +1,656 @@
+package cache
+
+import (
+	"fmt"
+
+	"pmemaccel/internal/memaddr"
+	"pmemaccel/internal/sim"
+)
+
+// Config sizes and times the three-level hierarchy. Latencies are in CPU
+// cycles; sizes in bytes (per core for L1/L2, total for the shared LLC).
+type Config struct {
+	L1Size, L1Ways   int
+	L1Latency        uint64
+	L2Size, L2Ways   int
+	L2Latency        uint64
+	LLCSize, LLCWays int
+	LLCLatency       uint64
+	// LLCPortsPerCycle is how many queued LLC requests (demand misses
+	// from L2 and writebacks into the LLC) are accepted per cycle.
+	LLCPortsPerCycle int
+	// LLCWriteOccupancy is how many cycles a write (writeback install)
+	// occupies the LLC port. 1 for SRAM; Kiln's STT-RAM LLC uses a
+	// multiple, so commit-flush bursts congest demand misses.
+	LLCWriteOccupancy uint64
+}
+
+// WithDefaults fills zero fields with the Table 2 configuration (2 GHz:
+// L1 0.5 ns, L2 4.5 ns, LLC 10 ns).
+func (c Config) WithDefaults() Config {
+	if c.L1Size == 0 {
+		c.L1Size = 32 << 10
+	}
+	if c.L1Ways == 0 {
+		c.L1Ways = 4
+	}
+	if c.L1Latency == 0 {
+		c.L1Latency = 1
+	}
+	if c.L2Size == 0 {
+		c.L2Size = 256 << 10
+	}
+	if c.L2Ways == 0 {
+		c.L2Ways = 8
+	}
+	if c.L2Latency == 0 {
+		c.L2Latency = 9
+	}
+	if c.LLCSize == 0 {
+		c.LLCSize = 64 << 20
+	}
+	if c.LLCWays == 0 {
+		c.LLCWays = 16
+	}
+	if c.LLCLatency == 0 {
+		c.LLCLatency = 20
+	}
+	if c.LLCPortsPerCycle == 0 {
+		c.LLCPortsPerCycle = 1
+	}
+	if c.LLCWriteOccupancy == 0 {
+		c.LLCWriteOccupancy = 1
+	}
+	return c
+}
+
+// Memory is the main-memory interface the LLC misses to (implemented by
+// memctrl.Router).
+type Memory interface {
+	// Read fetches a line; done fires when data returns.
+	Read(lineAddr uint64, done func())
+	// Write retires a line towards memory. apply runs at durability
+	// time (durable-image update), then onDurable (both may be nil).
+	Write(lineAddr uint64, apply, onDurable func())
+}
+
+// Hooks are the narrow points where persistence mechanisms observe or
+// redirect hierarchy behaviour without changing its operation.
+// Zero-valued hooks give the unmodified baseline hierarchy.
+type Hooks struct {
+	// DropLLCEviction, if non-nil, is consulted for every dirty LLC
+	// victim; returning true discards the write-back (the transaction
+	// cache design drops persistent evictions, §3).
+	DropLLCEviction func(victim *Line) bool
+	// SidePathProbe, if non-nil, is called for every LLC miss on a
+	// persistent line (the LLC "issues miss requests toward not only
+	// the NVM but also the transaction cache"). The return value
+	// reports whether the side path held newer data (stats; the fill
+	// still completes at NVM latency since the side path holds words,
+	// not whole lines).
+	SidePathProbe func(lineAddr uint64) bool
+	// AllowLLCVictim, if non-nil, vetoes eviction candidates (Kiln pins
+	// uncommitted transaction lines in the nonvolatile LLC). When every
+	// way is vetoed the install is bypassed (counted in Stats).
+	AllowLLCVictim func(l *Line) bool
+	// BeforeLLCDirtyUpdate runs before a dirty install/update changes
+	// an LLC line's flags, letting Kiln write back the old committed
+	// version before an uncommitted overwrite.
+	BeforeLLCDirtyUpdate func(old Line, newTxID uint64, newUncommitted bool)
+	// OnLLCDirtyInstall runs after a line becomes dirty in the LLC
+	// (Kiln snapshots the line's value into its nonvolatile-LLC image).
+	OnLLCDirtyInstall func(lineAddr uint64)
+	// WritebackApply builds the durable-image update closure for a
+	// dirty line written back to main memory; nil (or a nil return)
+	// means no functional effect (volatile DRAM lines).
+	WritebackApply func(lineAddr uint64) func()
+}
+
+// Stats aggregates hierarchy-level counters that the per-level tag arrays
+// do not track themselves.
+type Stats struct {
+	DroppedEvictions uint64 // dirty LLC victims discarded by the drop hook
+	LLCBypasses      uint64 // installs skipped because every way was pinned
+	MemWritebacks    uint64 // dirty lines actually written to main memory
+	SidePathProbes   uint64
+	SidePathHits     uint64
+	LLCQueueWaitSum  uint64
+	LLCQueueServed   uint64
+	FlushedLines     uint64 // lines moved by FlushTx (Kiln commits)
+	CleanedLines     uint64 // lines cleaned by CLWB flushes
+	CommitLockStalls uint64 // cycles demand traffic waited on commits
+}
+
+// DebugLine, when nonzero, prints every LLC-side event touching that
+// line (temporary diagnostic aid).
+var DebugLine uint64
+
+type llcReqKind uint8
+
+const (
+	llcRead llcReqKind = iota
+	llcWriteback
+)
+
+type llcReq struct {
+	kind     llcReqKind
+	lineAddr uint64
+	// read fields
+	persistent bool
+	// writeback fields
+	line Line
+	// onDone fires when the request has been processed at the LLC (for
+	// writebacks: installed; for reads: unused — the inflight table
+	// owns read completion).
+	onDone  func()
+	enqueue uint64
+}
+
+type waiter struct {
+	core       int
+	store      bool
+	persistent bool
+	txID       uint64
+	uncommit   bool
+	done       func()
+}
+
+// Hierarchy is the three-level cache model shared by all four mechanisms.
+type Hierarchy struct {
+	k     *sim.Kernel
+	cfg   Config
+	mem   Memory
+	hooks Hooks
+
+	l1, l2 []*SetAssoc
+	llc    *SetAssoc
+
+	queue    []llcReq
+	inflight map[uint64][]waiter
+	portBusy uint64 // cycle until which the LLC port is occupied
+	// commitLocks counts in-progress FlushTx commits. While nonzero,
+	// demand reads stall at the LLC and only writebacks (the flush's
+	// own traffic) are served — Kiln commits "block subsequent cache
+	// and memory requests" (§5.2).
+	commitLocks int
+
+	// txWB counts queued/in-flight LLC writebacks per transaction;
+	// txWBWait holds the commit continuation waiting for that count to
+	// drain (Kiln: a commit may not complete while any of the
+	// transaction's evicted lines is still in transit to the LLC).
+	txWB     map[uint64]int
+	txWBWait map[uint64]func()
+
+	stats Stats
+}
+
+// New builds the hierarchy for nCores cores and registers its LLC
+// arbiter with the kernel.
+func New(k *sim.Kernel, cfg Config, mem Memory, hooks Hooks, nCores int) *Hierarchy {
+	cfg = cfg.WithDefaults()
+	h := &Hierarchy{
+		k: k, cfg: cfg, mem: mem, hooks: hooks,
+		llc:      NewSetAssoc("LLC", cfg.LLCSize, cfg.LLCWays),
+		inflight: make(map[uint64][]waiter),
+		txWB:     make(map[uint64]int),
+		txWBWait: make(map[uint64]func()),
+	}
+	for c := 0; c < nCores; c++ {
+		h.l1 = append(h.l1, NewSetAssoc(fmt.Sprintf("L1-%d", c), cfg.L1Size, cfg.L1Ways))
+		h.l2 = append(h.l2, NewSetAssoc(fmt.Sprintf("L2-%d", c), cfg.L2Size, cfg.L2Ways))
+	}
+	k.Register(h)
+	return h
+}
+
+// L1, L2 and LLC expose the tag arrays (stats, tests, Kiln walks).
+func (h *Hierarchy) L1(core int) *SetAssoc { return h.l1[core] }
+
+// L2 returns core's private second-level cache.
+func (h *Hierarchy) L2(core int) *SetAssoc { return h.l2[core] }
+
+// LLC returns the shared last-level cache.
+func (h *Hierarchy) LLC() *SetAssoc { return h.llc }
+
+// Stats returns a copy of the hierarchy counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// Config returns the (defaulted) configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Pending reports outstanding LLC-queue entries plus in-flight memory
+// fills, for quiescence checks.
+func (h *Hierarchy) Pending() int { return len(h.queue) + len(h.inflight) }
+
+// Access performs one 64-bit load or store for core. done fires when the
+// access completes (data returned for loads; line owned and written in L1
+// for stores). txID/uncommitted tag store-touched lines for Kiln; other
+// mechanisms pass 0/false.
+func (h *Hierarchy) Access(core int, addr uint64, store, persistent bool, txID uint64, uncommitted bool, done func()) {
+	lineAddr := memaddr.LineAddr(addr)
+	// L1.
+	if l := h.l1[core].Lookup(lineAddr, true); l != nil {
+		if store {
+			h.markStore(l, persistent, txID, uncommitted)
+		}
+		h.k.Schedule(h.cfg.L1Latency, done)
+		return
+	}
+	// L2 (tag check costs L1 latency first).
+	if l := h.l2[core].Lookup(lineAddr, true); l != nil {
+		moved := *l
+		if store {
+			h.markStore(l, persistent, txID, uncommitted)
+			moved = *l
+		}
+		// Promote into L1 (non-inclusive: move, keeping L2 copy is
+		// also fine; we keep L2's copy clean and let L1 own dirt).
+		l.Dirty = false
+		h.installL1(core, moved)
+		h.k.Schedule(h.cfg.L1Latency+h.cfg.L2Latency, done)
+		return
+	}
+	// Miss beyond the private levels: merge into an in-flight fill if
+	// one exists, else enqueue an LLC request.
+	w := waiter{core: core, store: store, persistent: persistent, txID: txID, uncommit: uncommitted, done: done}
+	if ws, ok := h.inflight[lineAddr]; ok {
+		h.inflight[lineAddr] = append(ws, w)
+		return
+	}
+	h.inflight[lineAddr] = []waiter{w}
+	delay := h.cfg.L1Latency + h.cfg.L2Latency
+	h.k.Schedule(delay, func() {
+		h.queue = append(h.queue, llcReq{
+			kind: llcRead, lineAddr: lineAddr, persistent: persistent, enqueue: h.k.Now(),
+		})
+	})
+}
+
+func (h *Hierarchy) markStore(l *Line, persistent bool, txID uint64, uncommitted bool) {
+	l.Dirty = true
+	if persistent {
+		l.Persistent = true
+	}
+	if txID != 0 {
+		l.TxID = txID
+		l.Uncommitted = uncommitted
+	}
+}
+
+// installL1 places a line into core's L1, cascading the victim.
+func (h *Hierarchy) installL1(core int, line Line) {
+	evicted, installed, _ := h.l1[core].Insert(line.Addr, nil)
+	*installed = line
+	installed.Valid = true
+	if evicted.Valid && evicted.Dirty {
+		h.installL2(core, evicted)
+	}
+}
+
+// installL2 merges an evicted (or filled) line into core's L2, cascading
+// dirty victims to the LLC queue.
+func (h *Hierarchy) installL2(core int, line Line) {
+	if l := h.l2[core].Lookup(line.Addr, false); l != nil {
+		h.mergeFlags(l, line)
+		return
+	}
+	evicted, installed, _ := h.l2[core].Insert(line.Addr, nil)
+	*installed = line
+	installed.Valid = true
+	if evicted.Valid && evicted.Dirty {
+		h.queueWriteback(evicted, nil)
+	}
+}
+
+func (h *Hierarchy) mergeFlags(dst *Line, src Line) {
+	if src.Dirty {
+		dst.Dirty = true
+	}
+	if src.Persistent {
+		dst.Persistent = true
+	}
+	if src.TxID != 0 {
+		dst.TxID = src.TxID
+		dst.Uncommitted = src.Uncommitted
+	}
+}
+
+// queueWriteback enqueues a dirty line for installation into the LLC.
+func (h *Hierarchy) queueWriteback(line Line, onDone func()) {
+	if DebugLine != 0 && line.Addr == DebugLine {
+		fmt.Printf("[%d] queueWriteback line %#x tx=%d uncommit=%v dirty=%v\n",
+			h.k.Now(), line.Addr, line.TxID, line.Uncommitted, line.Dirty)
+	}
+	if line.TxID != 0 {
+		h.txWB[line.TxID]++
+	}
+	h.queue = append(h.queue, llcReq{
+		kind: llcWriteback, lineAddr: line.Addr, line: line, onDone: onDone, enqueue: h.k.Now(),
+	})
+}
+
+// wbLanded retires one in-transit writeback for a transaction, waking a
+// waiting commit when the count drains.
+func (h *Hierarchy) wbLanded(txID uint64) {
+	if txID == 0 {
+		return
+	}
+	h.txWB[txID]--
+	if h.txWB[txID] <= 0 {
+		delete(h.txWB, txID)
+		if wake := h.txWBWait[txID]; wake != nil {
+			delete(h.txWBWait, txID)
+			wake()
+		}
+	}
+}
+
+// Tick implements sim.Tickable: serve up to LLCPortsPerCycle queued LLC
+// requests, honouring write-port occupancy (slow STT-RAM writes keep the
+// port busy for several cycles).
+func (h *Hierarchy) Tick(now uint64) {
+	if now < h.portBusy {
+		return
+	}
+	for n := 0; n < h.cfg.LLCPortsPerCycle && len(h.queue) > 0; n++ {
+		idx := 0
+		if h.commitLocks > 0 {
+			// Commit in progress: only writebacks proceed.
+			idx = -1
+			for i := range h.queue {
+				if h.queue[i].kind == llcWriteback {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				h.stats.CommitLockStalls++
+				return
+			}
+		}
+		req := h.queue[idx]
+		h.queue = append(h.queue[:idx], h.queue[idx+1:]...)
+		h.stats.LLCQueueServed++
+		h.stats.LLCQueueWaitSum += now - req.enqueue
+		switch req.kind {
+		case llcRead:
+			h.serveLLCRead(req)
+		case llcWriteback:
+			h.serveLLCWriteback(req)
+			if h.cfg.LLCWriteOccupancy > 1 {
+				h.portBusy = now + h.cfg.LLCWriteOccupancy
+				return
+			}
+		}
+	}
+}
+
+func (h *Hierarchy) serveLLCRead(req llcReq) {
+	if l := h.llc.Lookup(req.lineAddr, true); l != nil {
+		line := *l
+		h.k.Schedule(h.cfg.LLCLatency, func() { h.completeFill(req.lineAddr, line, false) })
+		return
+	}
+	if req.persistent && h.hooks.SidePathProbe != nil {
+		h.stats.SidePathProbes++
+		if h.hooks.SidePathProbe(req.lineAddr) {
+			h.stats.SidePathHits++
+		}
+	}
+	h.k.Schedule(h.cfg.LLCLatency, func() {
+		h.mem.Read(req.lineAddr, func() {
+			h.completeFill(req.lineAddr, Line{Addr: req.lineAddr, Valid: true}, true)
+		})
+	})
+}
+
+// completeFill distributes a returned line to every merged waiter and,
+// for memory fills, installs it in the LLC.
+func (h *Hierarchy) completeFill(lineAddr uint64, line Line, fromMemory bool) {
+	if fromMemory {
+		h.insertLLC(line)
+	}
+	waiters := h.inflight[lineAddr]
+	delete(h.inflight, lineAddr)
+	for _, w := range waiters {
+		filled := Line{Addr: lineAddr, Valid: true, Persistent: line.Persistent}
+		if w.store {
+			filled.Dirty = true
+			if w.persistent {
+				filled.Persistent = true
+			}
+			if w.txID != 0 {
+				filled.TxID = w.txID
+				filled.Uncommitted = w.uncommit
+			}
+		}
+		// A second waiter for the same line on the same core would
+		// re-insert an existing line; merge through L1 lookup first.
+		if l := h.l1[w.core].Lookup(lineAddr, false); l != nil {
+			h.mergeFlags(l, filled)
+		} else {
+			h.installL1(w.core, filled)
+		}
+		if w.done != nil {
+			w.done()
+		}
+	}
+}
+
+// serveLLCWriteback installs a dirty line arriving from a private L2 (or
+// a Kiln commit flush) into the LLC.
+func (h *Hierarchy) serveLLCWriteback(req llcReq) {
+	h.k.Schedule(h.cfg.LLCLatency, func() {
+		line := req.line
+		if DebugLine != 0 && line.Addr == DebugLine {
+			ex := h.llc.Lookup(line.Addr, false)
+			fmt.Printf("[%d] serveWB line %#x tx=%d uncommit=%v existing=%+v\n",
+				h.k.Now(), line.Addr, line.TxID, line.Uncommitted, ex)
+		}
+		// Probe, not demand lookup: writeback installs must not skew
+		// the demand miss-rate statistics.
+		if l := h.llc.Lookup(line.Addr, false); l != nil {
+			if h.hooks.BeforeLLCDirtyUpdate != nil {
+				h.hooks.BeforeLLCDirtyUpdate(*l, line.TxID, line.Uncommitted)
+				// The hook may have reshaped the set (placeholder
+				// installs): re-resolve the line pointer.
+				l = h.llc.Lookup(line.Addr, false)
+				if l == nil {
+					if installed := h.insertLLC(line); installed != nil {
+						if h.hooks.OnLLCDirtyInstall != nil {
+							h.hooks.OnLLCDirtyInstall(line.Addr)
+						}
+					} else {
+						h.writebackToMemory(line)
+					}
+					h.wbLanded(line.TxID)
+					if req.onDone != nil {
+						req.onDone()
+					}
+					return
+				}
+			}
+			h.mergeFlags(l, line)
+			l.Uncommitted = line.Uncommitted
+			l.TxID = line.TxID
+			if h.hooks.OnLLCDirtyInstall != nil {
+				h.hooks.OnLLCDirtyInstall(line.Addr)
+			}
+		} else if installed := h.insertLLC(line); installed != nil {
+			if h.hooks.OnLLCDirtyInstall != nil {
+				h.hooks.OnLLCDirtyInstall(line.Addr)
+			}
+		} else {
+			// Bypass under total pinning pressure: retire straight
+			// to memory (counted; recovery strictness is checked by
+			// the crash tests).
+			h.writebackToMemory(line)
+		}
+		h.wbLanded(line.TxID)
+		if req.onDone != nil {
+			req.onDone()
+		}
+	})
+}
+
+// insertLLC installs a line, handling victim policy and eviction routing.
+// It returns the installed line, or nil when the install was bypassed.
+// A line already present (a writeback install racing a demand fill within
+// the LLC latency window) is merged in place.
+func (h *Hierarchy) insertLLC(line Line) *Line {
+	if l := h.llc.Lookup(line.Addr, false); l != nil {
+		h.mergeFlags(l, line)
+		return l
+	}
+	evicted, installed, ok := h.llc.Insert(line.Addr, h.hooks.AllowLLCVictim)
+	if !ok {
+		h.stats.LLCBypasses++
+		return nil
+	}
+	*installed = line
+	installed.Valid = true
+	if evicted.Valid && evicted.Dirty {
+		if h.hooks.DropLLCEviction != nil && h.hooks.DropLLCEviction(&evicted) {
+			h.stats.DroppedEvictions++
+		} else {
+			h.writebackToMemory(evicted)
+		}
+	}
+	return installed
+}
+
+// InstallPlaceholder installs a clean line at a synthetic address —
+// capacity pressure from mechanisms that keep multiple versions of a line
+// in the LLC (Kiln retains the old committed version beside the new
+// uncommitted one). Victims are handled through the normal eviction path,
+// except that the protected address (the live sibling version) is never
+// chosen; the placeholder itself ages out by LRU.
+func (h *Hierarchy) InstallPlaceholder(lineAddr, protect uint64) {
+	if h.llc.Lookup(lineAddr, false) != nil {
+		return
+	}
+	allow := func(l *Line) bool {
+		if l.Addr == protect {
+			return false
+		}
+		return h.hooks.AllowLLCVictim == nil || h.hooks.AllowLLCVictim(l)
+	}
+	evicted, installed, ok := h.llc.Insert(lineAddr, allow)
+	if !ok {
+		h.stats.LLCBypasses++
+		return
+	}
+	installed.Valid = true
+	if evicted.Valid && evicted.Dirty {
+		if h.hooks.DropLLCEviction != nil && h.hooks.DropLLCEviction(&evicted) {
+			h.stats.DroppedEvictions++
+		} else {
+			h.writebackToMemory(evicted)
+		}
+	}
+}
+
+func (h *Hierarchy) writebackToMemory(line Line) {
+	h.stats.MemWritebacks++
+	var apply func()
+	if h.hooks.WritebackApply != nil {
+		apply = h.hooks.WritebackApply(line.Addr)
+	}
+	h.mem.Write(line.Addr, apply, nil)
+}
+
+// Flush implements clwb for core: cached copies of the line containing
+// addr are cleaned and the line's current (live-image) contents are
+// written towards memory; done fires when the write is durable. The write
+// is unconditional — clwb is posted through the memory pipeline, and its
+// functional effect comes from the durable-image apply, so it is safe
+// even if the covered store's fill is still in flight.
+func (h *Hierarchy) Flush(core int, addr uint64, done func()) {
+	h.flushLine(core, addr, false, done)
+}
+
+// FlushInv implements clflush: like Flush, but the line is also
+// invalidated everywhere, so the next access misses.
+func (h *Hierarchy) FlushInv(core int, addr uint64, done func()) {
+	h.flushLine(core, addr, true, done)
+}
+
+func (h *Hierarchy) flushLine(core int, addr uint64, invalidate bool, done func()) {
+	lineAddr := memaddr.LineAddr(addr)
+	for _, c := range []*SetAssoc{h.l1[core], h.l2[core], h.llc} {
+		if l := c.Lookup(lineAddr, false); l != nil {
+			if l.Dirty {
+				l.Dirty = false
+				h.stats.CleanedLines++
+			}
+			if invalidate {
+				c.Invalidate(lineAddr)
+			}
+		}
+	}
+	h.stats.MemWritebacks++
+	var apply func()
+	if h.hooks.WritebackApply != nil {
+		apply = h.hooks.WritebackApply(lineAddr)
+	}
+	h.k.Schedule(h.cfg.L1Latency, func() {
+		h.mem.Write(lineAddr, apply, done)
+	})
+}
+
+// FlushTx moves every dirty line of txID out of core's private caches
+// into the LLC (Kiln's commit flush) and, once all are installed, clears
+// the Uncommitted pin on the transaction's LLC lines. done fires at that
+// point.
+func (h *Hierarchy) FlushTx(core int, txID uint64, done func()) {
+	// Flushed lines remain tagged uncommitted while in transit; the
+	// commit becomes visible atomically in the unpin walk below, so a
+	// crash mid-flush never exposes a partially committed transaction.
+	var lines []Line
+	for _, c := range []*SetAssoc{h.l1[core], h.l2[core]} {
+		c.ForEach(func(l *Line) {
+			if DebugLine != 0 && l.Addr == DebugLine {
+				fmt.Printf("[%d] FlushTx(%d) sees %s line %#x dirty=%v tx=%d\n",
+					h.k.Now(), txID, c.Name(), l.Addr, l.Dirty, l.TxID)
+			}
+			if l.Dirty && l.TxID == txID {
+				lines = append(lines, Line{
+					Addr: l.Addr, Valid: true, Dirty: true,
+					Persistent: l.Persistent, TxID: txID, Uncommitted: true,
+				})
+				l.Dirty = false
+				l.TxID = 0
+				l.Uncommitted = false
+			}
+		})
+	}
+	h.stats.FlushedLines += uint64(len(lines))
+	h.commitLocks++
+	finish := func() {
+		h.commitLocks--
+		h.llc.ForEach(func(l *Line) {
+			if l.TxID == txID {
+				if DebugLine != 0 && l.Addr == DebugLine {
+					fmt.Printf("[%d] unpin line %#x tx=%d\n", h.k.Now(), l.Addr, txID)
+				}
+				l.Uncommitted = false
+				l.TxID = 0
+			}
+		})
+		done()
+	}
+	for _, line := range lines {
+		h.queueWriteback(line, nil)
+	}
+	// The commit completes when every writeback of this transaction has
+	// landed in the LLC — both the flush's own lines and any mid-
+	// transaction evictions still in transit.
+	if h.txWB[txID] == 0 {
+		h.k.Schedule(1, finish)
+		return
+	}
+	if h.txWBWait[txID] != nil {
+		panic("cache: concurrent FlushTx for one transaction")
+	}
+	h.txWBWait[txID] = finish
+}

@@ -1,0 +1,206 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmemaccel/internal/memaddr"
+)
+
+func lineN(i int) uint64 { return memaddr.NVMBase + uint64(i)*memaddr.LineSize }
+
+func TestGeometry(t *testing.T) {
+	c := NewSetAssoc("t", 32<<10, 4)
+	if c.Sets() != 128 || c.Ways() != 4 || c.SizeBytes() != 32<<10 {
+		t.Fatalf("geometry = %d sets x %d ways", c.Sets(), c.Ways())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, g := range []struct{ size, ways int }{{0, 4}, {100, 4}, {64, 0}, {6 * 64, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSetAssoc(%d,%d) did not panic", g.size, g.ways)
+				}
+			}()
+			NewSetAssoc("bad", g.size, g.ways)
+		}()
+	}
+}
+
+func TestLookupMissThenInsertThenHit(t *testing.T) {
+	c := NewSetAssoc("t", 4<<10, 4)
+	if c.Lookup(lineN(1), true) != nil {
+		t.Fatal("hit in empty cache")
+	}
+	if _, l, ok := c.Insert(lineN(1), nil); !ok || l == nil {
+		t.Fatal("insert failed")
+	}
+	if c.Lookup(lineN(1), true) == nil {
+		t.Fatal("miss after insert")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", c.Hits, c.Misses)
+	}
+}
+
+func TestProbeDoesNotCountOrTouch(t *testing.T) {
+	c := NewSetAssoc("t", 4<<10, 4)
+	c.Insert(lineN(1), nil)
+	c.Lookup(lineN(1), false)
+	c.Lookup(lineN(99), false)
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Fatalf("probe counted: hits/misses = %d/%d", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped-ish: 1 set via size=ways*64.
+	c := NewSetAssoc("t", 4*64, 4)
+	for i := 0; i < 4; i++ {
+		c.Insert(lineN(i), nil)
+	}
+	// Touch 0 so 1 becomes LRU.
+	c.Lookup(lineN(0), true)
+	evicted, _, ok := c.Insert(lineN(10), nil)
+	if !ok || !evicted.Valid || evicted.Addr != lineN(1) {
+		t.Fatalf("evicted %#x, want %#x (LRU)", evicted.Addr, lineN(1))
+	}
+}
+
+func TestDoubleInsertPanics(t *testing.T) {
+	c := NewSetAssoc("t", 4<<10, 4)
+	c.Insert(lineN(1), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double insert did not panic")
+		}
+	}()
+	c.Insert(lineN(1), nil)
+}
+
+func TestVictimFilterPinsLines(t *testing.T) {
+	c := NewSetAssoc("t", 4*64, 4)
+	for i := 0; i < 4; i++ {
+		_, l, _ := c.Insert(lineN(i), nil)
+		l.Uncommitted = i != 2 // pin all but line 2
+	}
+	allow := func(l *Line) bool { return !l.Uncommitted }
+	evicted, _, ok := c.Insert(lineN(10), allow)
+	if !ok || evicted.Addr != lineN(2) {
+		t.Fatalf("evicted %#x, want unpinned line %#x", evicted.Addr, lineN(2))
+	}
+}
+
+func TestVictimFilterAllPinnedFailsInsert(t *testing.T) {
+	c := NewSetAssoc("t", 4*64, 4)
+	for i := 0; i < 4; i++ {
+		_, l, _ := c.Insert(lineN(i), nil)
+		l.Uncommitted = true
+	}
+	before := c.ValidCount()
+	_, _, ok := c.Insert(lineN(10), func(l *Line) bool { return !l.Uncommitted })
+	if ok {
+		t.Fatal("insert succeeded with every way pinned")
+	}
+	if c.ValidCount() != before {
+		t.Fatal("failed insert changed occupancy")
+	}
+	if c.Lookup(lineN(10), false) != nil {
+		t.Fatal("bypassed line present in cache")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := NewSetAssoc("t", 4<<10, 4)
+	_, l, _ := c.Insert(lineN(5), nil)
+	l.Dirty = true
+	old, ok := c.Invalidate(lineN(5))
+	if !ok || !old.Dirty {
+		t.Fatal("Invalidate lost line state")
+	}
+	if c.Lookup(lineN(5), false) != nil {
+		t.Fatal("line present after Invalidate")
+	}
+	if _, ok := c.Invalidate(lineN(5)); ok {
+		t.Fatal("second Invalidate reported success")
+	}
+}
+
+func TestDirtyEvictionCounting(t *testing.T) {
+	c := NewSetAssoc("t", 2*64, 2)
+	_, l, _ := c.Insert(lineN(0), nil)
+	l.Dirty = true
+	c.Insert(lineN(1), nil)
+	c.Insert(lineN(2), nil) // evicts line 0 (dirty)
+	if c.Evictions != 1 || c.DirtyEvictions != 1 {
+		t.Fatalf("evictions = %d/%d dirty, want 1/1", c.Evictions, c.DirtyEvictions)
+	}
+}
+
+func TestForEachAndValidCount(t *testing.T) {
+	c := NewSetAssoc("t", 8<<10, 4)
+	for i := 0; i < 10; i++ {
+		c.Insert(lineN(i), nil)
+	}
+	if c.ValidCount() != 10 {
+		t.Fatalf("ValidCount = %d, want 10", c.ValidCount())
+	}
+	n := 0
+	c.ForEach(func(l *Line) { n++ })
+	if n != 10 {
+		t.Fatalf("ForEach visited %d, want 10", n)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := NewSetAssoc("t", 4<<10, 4)
+	if c.MissRate() != 0 {
+		t.Fatal("fresh cache has nonzero miss rate")
+	}
+	c.Lookup(lineN(0), true) // miss
+	c.Insert(lineN(0), nil)
+	c.Lookup(lineN(0), true) // hit
+	if got := c.MissRate(); got != 0.5 {
+		t.Fatalf("MissRate = %v, want 0.5", got)
+	}
+}
+
+// Property: after any sequence of inserts, every cached line is found by
+// Lookup and the cache never exceeds capacity; set mapping is stable.
+func TestQuickInsertLookupConsistency(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := NewSetAssoc("t", 2<<10, 4) // 32 lines
+		present := map[uint64]bool{}
+		for _, a := range addrs {
+			la := lineN(int(a % 256))
+			if c.Lookup(la, true) != nil {
+				if !present[la] {
+					return false // phantom hit
+				}
+				continue
+			}
+			evicted, _, ok := c.Insert(la, nil)
+			if !ok {
+				return false
+			}
+			if evicted.Valid {
+				delete(present, evicted.Addr)
+			}
+			present[la] = true
+			if c.ValidCount() > 32 {
+				return false
+			}
+		}
+		for la := range present {
+			if c.Lookup(la, false) == nil {
+				return false // lost a line we think is present
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

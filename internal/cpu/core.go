@@ -1,0 +1,386 @@
+// Package cpu models the processor cores: a quantitative 4-wide core that
+// consumes a memory-reference trace, with blocking loads, a store buffer,
+// clwb/sfence semantics, and the TxID/Mode registers of §4.2. Persistence
+// mechanisms observe transaction boundaries and persistent stores through
+// the Persistence interface; everything else is mechanism-independent.
+package cpu
+
+import (
+	"math"
+	"math/bits"
+
+	"pmemaccel/internal/cache"
+	"pmemaccel/internal/memaddr"
+	"pmemaccel/internal/sim"
+	"pmemaccel/internal/trace"
+)
+
+// StoreAction tells the core how to treat one persistent store.
+type StoreAction struct {
+	// Retry stalls the core one cycle and asks again (transaction
+	// cache full).
+	Retry bool
+	// TxTag and Uncommitted tag the store's cache line for mechanisms
+	// that track transaction ownership in the hierarchy (Kiln).
+	TxTag       uint64
+	Uncommitted bool
+}
+
+// Persistence is the mechanism-facing contract. The zero-value
+// NullPersistence is the no-persistence baseline.
+type Persistence interface {
+	// TxBegin observes TX_BEGIN retirement.
+	TxBegin(core int, txID uint64)
+	// TxEnd observes TX_END retirement. Returning true stalls the core
+	// until resume is called (commit flushes). The mechanism must call
+	// resume exactly once iff it returns true.
+	TxEnd(core int, txID uint64, resume func()) bool
+	// Store observes a persistent store about to leave the core.
+	Store(core int, txID uint64, addr, value uint64) StoreAction
+}
+
+// NullPersistence takes no action on any event.
+type NullPersistence struct{}
+
+// TxBegin implements Persistence.
+func (NullPersistence) TxBegin(int, uint64) {}
+
+// TxEnd implements Persistence.
+func (NullPersistence) TxEnd(int, uint64, func()) bool { return false }
+
+// Store implements Persistence.
+func (NullPersistence) Store(int, uint64, uint64, uint64) StoreAction { return StoreAction{} }
+
+// Config sizes one core.
+type Config struct {
+	// IssueWidth is instructions retired per cycle (Table 2: 4).
+	IssueWidth int
+	// StoreBuffer bounds outstanding stores.
+	StoreBuffer int
+	// MLP bounds outstanding independent loads — the out-of-order
+	// window's memory-level parallelism. Dependent (pointer-chase)
+	// loads always serialize behind outstanding loads.
+	MLP int
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.IssueWidth == 0 {
+		c.IssueWidth = 4
+	}
+	if c.StoreBuffer == 0 {
+		c.StoreBuffer = 16
+	}
+	if c.MLP == 0 {
+		c.MLP = 8
+	}
+	return c
+}
+
+// Stats accumulates one core's activity.
+type Stats struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	Transactions uint64
+
+	PersistentLoads          uint64
+	PersistentLoadLatencySum uint64
+	// PloadHist buckets persistent-load latencies by log2: bucket i
+	// counts loads with latency in [2^(i-1), 2^i) cycles (bucket 0 is
+	// zero-latency; the last bucket is open-ended). Drives tail-latency
+	// percentiles beyond Figure 10's mean.
+	PloadHist [18]uint64
+
+	// Stall cycles by cause.
+	StallLoad       uint64
+	StallStoreBuf   uint64
+	StallStoreRetry uint64
+	StallFence      uint64
+	StallCommit     uint64
+
+	// DoneAt is the cycle the core fully quiesced (0 while running).
+	DoneAt uint64
+}
+
+// Core executes one trace stream. Register with the kernel to run.
+type Core struct {
+	k    *sim.Kernel
+	id   int
+	cfg  Config
+	hier *cache.Hierarchy
+	pers Persistence
+	rd   trace.Reader
+	// onStoreRetire applies a store's value to the live (volatile
+	// shadow) image the moment it enters the memory system.
+	onStoreRetire func(addr, value uint64)
+
+	cur         trace.Record
+	hasCur      bool
+	computeLeft int
+	exhausted   bool
+
+	mode uint64 // Mode/TxID register: nonzero inside a transaction
+
+	outStores  int
+	outFlushes int
+	outLoads   int
+	fenceWait  bool
+	commitWait bool
+
+	stats Stats
+}
+
+// New builds a core and registers it with the kernel. onStoreRetire may
+// be nil.
+func New(k *sim.Kernel, id int, cfg Config, hier *cache.Hierarchy, pers Persistence,
+	rd trace.Reader, onStoreRetire func(addr, value uint64)) *Core {
+	cfg = cfg.WithDefaults()
+	if pers == nil {
+		pers = NullPersistence{}
+	}
+	c := &Core{k: k, id: id, cfg: cfg, hier: hier, pers: pers, rd: rd, onStoreRetire: onStoreRetire}
+	k.Register(c)
+	return c
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.id }
+
+// Stats returns a copy of the counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Mode returns the TxID/Mode register (0 = normal mode).
+func (c *Core) Mode() uint64 { return c.mode }
+
+// Finished reports whether the trace is exhausted and every outstanding
+// access has completed.
+func (c *Core) Finished() bool {
+	return c.exhausted && !c.hasCur && c.outStores == 0 && c.outFlushes == 0 &&
+		c.outLoads == 0 && !c.commitWait
+}
+
+// fetch pulls the next record if none is current.
+func (c *Core) fetch() bool {
+	if c.hasCur {
+		return true
+	}
+	rec, ok := c.rd.Next()
+	if !ok {
+		c.exhausted = true
+		return false
+	}
+	c.cur = rec
+	c.hasCur = true
+	if rec.Kind == trace.KindCompute {
+		c.computeLeft = rec.N
+	}
+	return true
+}
+
+func (c *Core) retire() { c.hasCur = false }
+
+// finishCheck stamps DoneAt the moment the core quiesces. It runs at the
+// end of every tick and after every completion callback, so DoneAt is
+// exact regardless of which event finished last.
+func (c *Core) finishCheck() {
+	if c.stats.DoneAt == 0 && c.Finished() {
+		c.stats.DoneAt = c.k.Now()
+	}
+}
+
+// Tick implements sim.Tickable: retire up to IssueWidth instructions,
+// honouring stall conditions.
+func (c *Core) Tick(now uint64) {
+	defer func() {
+		c.peekExhaustion()
+		c.finishCheck()
+	}()
+	if c.Finished() {
+		return
+	}
+	if c.commitWait {
+		c.stats.StallCommit++
+		return
+	}
+	if c.fenceWait {
+		if c.outStores == 0 && c.outFlushes == 0 {
+			c.fenceWait = false
+		} else {
+			c.stats.StallFence++
+			return
+		}
+	}
+	budget := c.cfg.IssueWidth
+	for budget > 0 {
+		if !c.fetch() {
+			return
+		}
+		switch c.cur.Kind {
+		case trace.KindCompute:
+			take := budget
+			if take > c.computeLeft {
+				take = c.computeLeft
+			}
+			c.computeLeft -= take
+			budget -= take
+			c.stats.Instructions += uint64(take)
+			if c.computeLeft == 0 {
+				c.retire()
+			}
+
+		case trace.KindLoad:
+			// Dependent loads serialize behind every outstanding
+			// load; independent loads overlap up to the MLP window.
+			if c.cur.Dep && c.outLoads > 0 {
+				c.stats.StallLoad++
+				return
+			}
+			if !c.cur.Dep && c.outLoads >= c.cfg.MLP {
+				c.stats.StallLoad++
+				return
+			}
+			c.issueLoad(c.cur.Addr, now)
+			c.stats.Instructions++
+			budget--
+			c.retire()
+
+		case trace.KindStore:
+			if c.outStores >= c.cfg.StoreBuffer {
+				c.stats.StallStoreBuf++
+				return
+			}
+			persistent := memaddr.IsPersistent(c.cur.Addr)
+			act := StoreAction{}
+			if persistent {
+				act = c.pers.Store(c.id, c.mode, c.cur.Addr, c.cur.Value)
+				if act.Retry {
+					c.stats.StallStoreRetry++
+					return
+				}
+			}
+			if c.onStoreRetire != nil {
+				c.onStoreRetire(c.cur.Addr, c.cur.Value)
+			}
+			c.outStores++
+			c.hier.Access(c.id, c.cur.Addr, true, persistent, act.TxTag, act.Uncommitted,
+				func() { c.outStores--; c.finishCheck() })
+			c.stats.Stores++
+			c.stats.Instructions++
+			budget--
+			c.retire()
+
+		case trace.KindTxBegin:
+			c.mode = c.cur.TxID
+			c.pers.TxBegin(c.id, c.cur.TxID)
+			c.stats.Instructions++
+			budget--
+			c.retire()
+
+		case trace.KindTxEnd:
+			// Commit retires in order: the transaction's loads and
+			// stores must have completed first.
+			if c.outStores > 0 || c.outLoads > 0 {
+				c.stats.StallCommit++
+				return
+			}
+			id := c.cur.TxID
+			c.stats.Instructions++
+			c.retire()
+			c.mode = 0
+			if c.pers.TxEnd(c.id, id, func() {
+				c.commitWait = false
+				c.stats.Transactions++
+				c.finishCheck()
+			}) {
+				c.commitWait = true
+				return
+			}
+			c.stats.Transactions++
+			budget--
+
+		case trace.KindCLWB, trace.KindCLFlush:
+			// Flushes are posted: they flow down the memory pipeline
+			// without stalling retirement. Ordering against later
+			// code is the job of sfence.
+			c.outFlushes++
+			flush := c.hier.Flush
+			if c.cur.Kind == trace.KindCLFlush {
+				flush = c.hier.FlushInv
+			}
+			flush(c.id, c.cur.Addr, func() { c.outFlushes--; c.finishCheck() })
+			c.stats.Instructions++
+			budget--
+			c.retire()
+
+		case trace.KindSFence:
+			c.stats.Instructions++
+			c.retire()
+			if c.outStores > 0 || c.outFlushes > 0 {
+				c.fenceWait = true
+				return
+			}
+			budget--
+		}
+	}
+}
+
+// peekExhaustion discovers end-of-stream eagerly so Finished (and DoneAt)
+// reflect the cycle the last instruction retired, not one cycle later.
+func (c *Core) peekExhaustion() {
+	if !c.hasCur && !c.exhausted {
+		c.fetch()
+	}
+}
+
+func (c *Core) issueLoad(addr uint64, now uint64) {
+	c.stats.Loads++
+	persistent := memaddr.IsPersistent(addr)
+	c.outLoads++
+	c.hier.Access(c.id, addr, false, persistent, 0, false, func() {
+		c.outLoads--
+		if persistent {
+			lat := c.k.Now() - now
+			c.stats.PersistentLoads++
+			c.stats.PersistentLoadLatencySum += lat
+			idx := bits.Len64(lat)
+			if idx >= len(c.stats.PloadHist) {
+				idx = len(c.stats.PloadHist) - 1
+			}
+			c.stats.PloadHist[idx]++
+		}
+		c.finishCheck()
+	})
+}
+
+// PloadPercentile returns an upper bound on the given percentile of the
+// persistent-load latency distribution (p in (0,1]), using the log2
+// histogram buckets.
+func PloadPercentile(s Stats, p float64) uint64 {
+	if s.PersistentLoads == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p * float64(s.PersistentLoads)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range s.PloadHist {
+		cum += n
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return (uint64(1) << uint(i)) - 1
+		}
+	}
+	return ^uint64(0)
+}
+
+// MergeHist sums two histograms (cross-core aggregation).
+func MergeHist(a, b [18]uint64) [18]uint64 {
+	for i := range a {
+		a[i] += b[i]
+	}
+	return a
+}

@@ -1,0 +1,160 @@
+// Package figures regenerates the paper's evaluation artifacts: one
+// function per figure (6–10) plus the §5.2 transaction-cache stall table,
+// all computed from a (benchmark x mechanism) grid of runs.
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"pmemaccel"
+	"pmemaccel/internal/cpu"
+	"pmemaccel/internal/stats"
+	"pmemaccel/internal/workload"
+)
+
+// Mechs is the presentation order of the paper's bars.
+var Mechs = []pmemaccel.Kind{pmemaccel.SP, pmemaccel.TCache, pmemaccel.Kiln, pmemaccel.Optimal}
+
+// Grid holds one full evaluation sweep.
+type Grid struct {
+	Benchs  []workload.Benchmark
+	Mechs   []pmemaccel.Kind
+	Results map[workload.Benchmark]map[pmemaccel.Kind]*pmemaccel.Result
+}
+
+// Run executes the sweep. configure produces the run configuration for a
+// cell (letting callers choose scale and op counts); progress (may be
+// nil) is invoked after each cell.
+func Run(benchs []workload.Benchmark, mechs []pmemaccel.Kind,
+	configure func(workload.Benchmark, pmemaccel.Kind) pmemaccel.Config,
+	progress func(workload.Benchmark, pmemaccel.Kind, *pmemaccel.Result)) (*Grid, error) {
+
+	g := &Grid{
+		Benchs:  benchs,
+		Mechs:   mechs,
+		Results: make(map[workload.Benchmark]map[pmemaccel.Kind]*pmemaccel.Result),
+	}
+	for _, b := range benchs {
+		g.Results[b] = make(map[pmemaccel.Kind]*pmemaccel.Result)
+		for _, m := range mechs {
+			res, err := pmemaccel.Run(configure(b, m))
+			if err != nil {
+				return nil, fmt.Errorf("figures: %v/%v: %w", b, m, err)
+			}
+			if res.DurableDiffCount > 0 {
+				return nil, fmt.Errorf("figures: %v/%v left NVM inconsistent (%d diffs)",
+					b, m, res.DurableDiffCount)
+			}
+			g.Results[b][m] = res
+			if progress != nil {
+				progress(b, m, res)
+			}
+		}
+	}
+	return g, nil
+}
+
+// series extracts one metric into a stats.Series.
+func (g *Grid) series(name string, metric func(*pmemaccel.Result) float64) *stats.Series {
+	var bn, mn []string
+	for _, b := range g.Benchs {
+		bn = append(bn, b.String())
+	}
+	for _, m := range g.Mechs {
+		mn = append(mn, m.String())
+	}
+	s := stats.NewSeries(name, bn, mn)
+	for _, b := range g.Benchs {
+		for _, m := range g.Mechs {
+			s.Set(b.String(), m.String(), metric(g.Results[b][m]))
+		}
+	}
+	return s
+}
+
+// normalizedTo returns the metric normalized to the Optimal baseline, as
+// the paper plots every figure.
+func (g *Grid) normalizedTo(name string, metric func(*pmemaccel.Result) float64) *stats.Series {
+	return g.series(name, metric).Normalized(pmemaccel.Optimal.String())
+}
+
+// Fig6 is the normalized IPC figure.
+func (g *Grid) Fig6() *stats.Series {
+	return g.normalizedTo("Figure 6: Normalized IPC", (*pmemaccel.Result).IPC)
+}
+
+// Fig7 is the normalized transaction-throughput figure.
+func (g *Grid) Fig7() *stats.Series {
+	return g.normalizedTo("Figure 7: Normalized throughput (tx/kcycle)", (*pmemaccel.Result).Throughput)
+}
+
+// Fig8 is the normalized LLC miss-rate figure.
+func (g *Grid) Fig8() *stats.Series {
+	return g.normalizedTo("Figure 8: Normalized LLC miss rate",
+		func(r *pmemaccel.Result) float64 { return r.LLCMissRate })
+}
+
+// Fig9 is the normalized NVM write-traffic figure.
+func (g *Grid) Fig9() *stats.Series {
+	return g.normalizedTo("Figure 9: Normalized NVM write traffic",
+		func(r *pmemaccel.Result) float64 { return float64(r.NVMWriteTraffic()) })
+}
+
+// Fig10 is the normalized persistent-load-latency figure.
+func (g *Grid) Fig10() *stats.Series {
+	return g.normalizedTo("Figure 10: Normalized persistent load latency",
+		(*pmemaccel.Result).AvgPersistentLoadLatency)
+}
+
+// Figure returns the numbered figure (6..10).
+func (g *Grid) Figure(n int) (*stats.Series, error) {
+	switch n {
+	case 6:
+		return g.Fig6(), nil
+	case 7:
+		return g.Fig7(), nil
+	case 8:
+		return g.Fig8(), nil
+	case 9:
+		return g.Fig9(), nil
+	case 10:
+		return g.Fig10(), nil
+	default:
+		return nil, fmt.Errorf("figures: the paper has figures 6..10, not %d", n)
+	}
+}
+
+// StallTable reports the §5.2 observation: the fraction of execution time
+// each TCache run stalled on a full transaction cache (the paper: ~0
+// everywhere except 0.67%% on sps).
+func (g *Grid) StallTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Transaction-cache full-stall time (TCache runs, %% of cycles)\n")
+	for _, bench := range g.Benchs {
+		r := g.Results[bench][pmemaccel.TCache]
+		if r == nil {
+			continue
+		}
+		frac := r.StallFraction(func(s cpu.Stats) uint64 { return s.StallStoreRetry }) /
+			float64(len(r.PerCore))
+		fmt.Fprintf(&b, "  %-10s %6.3f%%\n", bench, frac*100)
+	}
+	return b.String()
+}
+
+// Summary renders the headline comparison the paper's abstract quotes:
+// each mechanism's geomean share of Optimal performance.
+func (g *Grid) Summary() string {
+	f6, f7 := g.Fig6(), g.Fig7()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Geomean share of Optimal performance (paper: TCache 98.5%%, Kiln 87.8%%, SP 47.7%% IPC / 30.6%% throughput)\n")
+	for _, m := range g.Mechs {
+		if m == pmemaccel.Optimal {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-8s IPC %5.1f%%   throughput %5.1f%%\n",
+			m, f6.Geomean(m.String())*100, f7.Geomean(m.String())*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"pmemaccel"
+	"pmemaccel/internal/workload"
+)
+
+func smallGrid(t *testing.T) *Grid {
+	t.Helper()
+	configure := func(b workload.Benchmark, m pmemaccel.Kind) pmemaccel.Config {
+		cfg := pmemaccel.DefaultConfig(b, m)
+		cfg.Cores = 2
+		cfg.Scale = 256
+		cfg.InitialSize = 500
+		cfg.Ops = 150
+		return cfg
+	}
+	g, err := Run([]workload.Benchmark{workload.SPS, workload.Hashtable}, Mechs, configure, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGridProducesAllFigures(t *testing.T) {
+	g := smallGrid(t)
+	for n := 6; n <= 10; n++ {
+		s, err := g.Figure(n)
+		if err != nil {
+			t.Fatalf("figure %d: %v", n, err)
+		}
+		// Normalized: the Optimal column is exactly 1 wherever the
+		// raw baseline is nonzero (a zero baseline zeroes the row —
+		// possible for write traffic at test scale).
+		for _, bench := range s.Benchs {
+			v := s.Get(bench, pmemaccel.Optimal.String())
+			if v != 1.0 && v != 0.0 {
+				t.Errorf("figure %d: %s optimal = %v, want 1.0 or 0", n, bench, v)
+			}
+		}
+		if !strings.Contains(s.Table(), "geomean") {
+			t.Errorf("figure %d table lacks geomean", n)
+		}
+	}
+	if _, err := g.Figure(11); err == nil {
+		t.Fatal("figure 11 accepted")
+	}
+}
+
+func TestFig6OrderingHolds(t *testing.T) {
+	g := smallGrid(t)
+	f6 := g.Fig6()
+	sp := f6.Geomean(pmemaccel.SP.String())
+	tc := f6.Geomean(pmemaccel.TCache.String())
+	if !(sp < tc) {
+		t.Errorf("SP geomean IPC %.3f not below TCache %.3f", sp, tc)
+	}
+	if tc > 1.02 {
+		t.Errorf("TCache geomean IPC %.3f exceeds Optimal", tc)
+	}
+}
+
+func TestFig9OrderingHolds(t *testing.T) {
+	// At test scale the Optimal baseline may produce no write-backs at
+	// all (the working set fits in the LLC), so compare raw counts.
+	g := smallGrid(t)
+	for _, bench := range g.Benchs {
+		sp := g.Results[bench][pmemaccel.SP].NVMWriteTraffic()
+		tc := g.Results[bench][pmemaccel.TCache].NVMWriteTraffic()
+		opt := g.Results[bench][pmemaccel.Optimal].NVMWriteTraffic()
+		if !(sp > tc && tc > opt) {
+			t.Errorf("%s: write traffic SP %d > TC %d > Optimal %d violated",
+				bench, sp, tc, opt)
+		}
+	}
+}
+
+func TestStallTableAndSummaryRender(t *testing.T) {
+	g := smallGrid(t)
+	st := g.StallTable()
+	if !strings.Contains(st, "sps") || !strings.Contains(st, "%") {
+		t.Errorf("stall table malformed:\n%s", st)
+	}
+	sum := g.Summary()
+	for _, want := range []string{"tcache", "kiln", "sp", "IPC", "throughput"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}

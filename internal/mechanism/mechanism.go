@@ -1,0 +1,175 @@
+// Package mechanism implements the four persistence schemes the paper
+// evaluates (§5.1) as pluggable strategies over the shared simulator:
+//
+//   - Optimal — native execution, no persistence guarantee;
+//   - SP — software-supported persistence: redo write-ahead logging with
+//     clwb/sfence write-order control (Figures 2(b) and 3(a));
+//   - TCache — this paper's transaction-cache accelerator;
+//   - Kiln — the nonvolatile-LLC baseline [23] that flushes transaction
+//     data into the LLC at commit and pins uncommitted lines there.
+//
+// A mechanism contributes: cache-hierarchy hooks, a per-core trace
+// rewriter (SP injects its logging code), the cpu.Persistence behaviour at
+// transaction boundaries and persistent stores, a durable-commit counter
+// used by crash checking, and a Recover procedure that turns a crash-time
+// durable state into the post-recovery NVM image.
+package mechanism
+
+import (
+	"fmt"
+
+	"pmemaccel/internal/cache"
+	"pmemaccel/internal/cpu"
+	"pmemaccel/internal/memaddr"
+	"pmemaccel/internal/memctrl"
+	"pmemaccel/internal/memimage"
+	"pmemaccel/internal/sim"
+	"pmemaccel/internal/trace"
+	"pmemaccel/internal/txcache"
+)
+
+// Kind identifies one of the four evaluated schemes.
+type Kind int
+
+const (
+	// Optimal is native execution without persistence support.
+	Optimal Kind = iota
+	// SP is software-supported persistence (write-ahead logging).
+	SP
+	// TCache is the paper's transaction-cache accelerator.
+	TCache
+	// Kiln is the nonvolatile-LLC prior design [23].
+	Kiln
+)
+
+// All lists the mechanisms in the paper's comparison order.
+var All = []Kind{SP, TCache, Kiln, Optimal}
+
+// String names the mechanism as in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case Optimal:
+		return "optimal"
+	case SP:
+		return "sp"
+	case TCache:
+		return "tcache"
+	case Kiln:
+		return "kiln"
+	default:
+		return fmt.Sprintf("mechanism(%d)", int(k))
+	}
+}
+
+// ParseKind maps a name to a Kind.
+func ParseKind(name string) (Kind, error) {
+	for _, k := range All {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("mechanism: unknown kind %q", name)
+}
+
+// Description returns the §5.1 one-liner.
+func (k Kind) Description() string {
+	switch k {
+	case Optimal:
+		return "Native execution without persistence overhead."
+	case SP:
+		return "Software write-ahead logging with clwb/sfence write ordering."
+	case TCache:
+		return "Nonvolatile transaction cache beside the hierarchy (this work)."
+	case Kiln:
+		return "Nonvolatile LLC with hardware commit flushes (prior work)."
+	default:
+		return "unknown"
+	}
+}
+
+// Env is the shared simulator state a mechanism plugs into.
+type Env struct {
+	K      *sim.Kernel
+	Cores  int
+	Router *memctrl.Router
+	// Live is the volatile shadow image: the newest architectural value
+	// of every line, updated at store retirement.
+	Live *memimage.Image
+	// Durable is the NVM content that survives a crash.
+	Durable *memimage.Image
+	// TC configures the per-core transaction caches (TCache only).
+	TC txcache.Config
+}
+
+// Mechanism is the strategy interface.
+type Mechanism interface {
+	cpu.Persistence
+
+	Kind() Kind
+	// Hooks returns the cache-hierarchy hooks to build the hierarchy
+	// with.
+	Hooks() cache.Hooks
+	// Attach hands the built hierarchy to the mechanism (Kiln commits
+	// flush through it).
+	Attach(h *cache.Hierarchy)
+	// Rewrite wraps a workload trace reader with mechanism-injected
+	// instructions (SP logging); identity for the others.
+	Rewrite(core int, r trace.Reader) trace.Reader
+	// Drained reports whether all persistence machinery has quiesced.
+	Drained() bool
+	// DurablyCommitted reports how many of core's transactions are
+	// durably committed at this instant — the oracle prefix a crash
+	// right now must recover to.
+	DurablyCommitted(core int) uint64
+	// Recover builds the post-recovery NVM image from a crash-time
+	// durable image (plus the mechanism's own nonvolatile state).
+	Recover(durable *memimage.Image) *memimage.Image
+	// RecoveryCost estimates the reboot-time work recovery would do if
+	// the system crashed at this instant.
+	RecoveryCost() RecoveryCost
+}
+
+// RecoveryCost is a coarse reboot-time work estimate: how many
+// nonvolatile items recovery scans, how many NVM writes it issues, and a
+// cycle estimate assuming the Table 2 NVM timings (152-cycle writes
+// across 32 banks, ~40-cycle scans).
+type RecoveryCost struct {
+	ScannedItems int
+	NVMWrites    int
+	EstCycles    uint64
+}
+
+// estimateRecoveryCycles applies the shared cost model.
+func estimateRecoveryCycles(scanned, writes int) uint64 {
+	const (
+		scanCost      = 40  // one NVM read-ish step per scanned item
+		writeCost     = 152 // NVM write latency
+		bankParallism = 32
+	)
+	return uint64(scanned)*scanCost/bankParallism + uint64(writes)*writeCost/bankParallism
+}
+
+// New builds the mechanism of the given kind over env.
+func New(kind Kind, env *Env) Mechanism {
+	switch kind {
+	case Optimal:
+		return newOptimal(env)
+	case SP:
+		return newSP(env)
+	case TCache:
+		return newTCache(env)
+	case Kiln:
+		return newKiln(env)
+	default:
+		panic(fmt.Sprintf("mechanism: unknown kind %d", int(kind)))
+	}
+}
+
+// copyLiveApply returns an apply closure copying the live image's line
+// into the durable image for persistent lines, nil for volatile ones.
+func copyLiveApply(env *Env, lineAddr uint64) func() {
+	if !memaddr.IsPersistent(lineAddr) {
+		return nil
+	}
+	return func() { env.Durable.CopyLine(env.Live, lineAddr) }
+}

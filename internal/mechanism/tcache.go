@@ -1,0 +1,254 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"pmemaccel/internal/cache"
+	"pmemaccel/internal/cpu"
+	"pmemaccel/internal/memaddr"
+	"pmemaccel/internal/memimage"
+	"pmemaccel/internal/trace"
+	"pmemaccel/internal/txcache"
+)
+
+// tcMech is this paper's design: a per-core nonvolatile transaction cache
+// beside the hierarchy. Persistent stores are copied into the TC
+// non-blockingly; TX_END inserts a commit request (instantly durable — the
+// TC is nonvolatile); the LLC drops persistent evictions and probes the TC
+// on persistent misses; the NVM controller acknowledges drained entries.
+//
+// Overflow (§4.1) falls back to hardware copy-on-write: once a
+// transaction sees the TC at its high-water mark, its further updates are
+// written to a per-core shadow log in NVM, and its commit waits for those
+// shadow writes plus a commit record — the only case where the TC design
+// ever stalls a commit.
+type tcMech struct {
+	env  *Env
+	tcs  []*txcache.TxCache
+	hier *cache.Hierarchy
+
+	committed []uint64
+
+	// Copy-on-write fall-back state, per core.
+	fbActive      []bool
+	fbTx          []uint64
+	fbPending     [][]trace.Write // this transaction's shadow writes
+	fbOutstanding []int           // shadow writes not yet durable
+	fbCommit      []func()        // deferred commit waiting for drain
+	shadow        []memaddr.Range
+	shadowCursor  []uint64
+
+	// FallbackTxs counts transactions that overflowed to the COW path.
+	FallbackTxs uint64
+}
+
+func newTCache(env *Env) Mechanism {
+	m := &tcMech{
+		env:           env,
+		committed:     make([]uint64, env.Cores),
+		fbActive:      make([]bool, env.Cores),
+		fbTx:          make([]uint64, env.Cores),
+		fbPending:     make([][]trace.Write, env.Cores),
+		fbOutstanding: make([]int, env.Cores),
+		fbCommit:      make([]func(), env.Cores),
+		shadow:        memaddr.Partition(memaddr.NVMLogBase, 1<<36, env.Cores),
+		shadowCursor:  make([]uint64, env.Cores),
+	}
+	for c := range m.shadowCursor {
+		m.shadowCursor[c] = m.shadow[c].Base
+	}
+	durableApply := func(addr, value uint64) { env.Durable.WriteWord(addr, value) }
+	for c := 0; c < env.Cores; c++ {
+		m.tcs = append(m.tcs, txcache.New(env.K, env.TC, env.Router, durableApply))
+	}
+	return m
+}
+
+func (m *tcMech) Kind() Kind { return TCache }
+
+// TC exposes core's transaction cache (stats, tests).
+func (m *tcMech) TC(core int) *txcache.TxCache { return m.tcs[core] }
+
+// TCStatsAll returns every core's transaction cache counters.
+func (m *tcMech) TCStatsAll() []txcache.Stats {
+	out := make([]txcache.Stats, len(m.tcs))
+	for i, tc := range m.tcs {
+		out[i] = tc.Stats()
+	}
+	return out
+}
+
+func (m *tcMech) Hooks() cache.Hooks {
+	return cache.Hooks{
+		// "We drop the last-level cache write-backs — these blocks are
+		// simply discarded after being evicted out of the last-level
+		// cache." The TC path is the only writer of persistent data.
+		DropLLCEviction: func(victim *cache.Line) bool { return victim.Persistent },
+		// "Last level cache will issue miss requests toward not only
+		// the NVM but also the transaction cache."
+		SidePathProbe: func(lineAddr uint64) bool {
+			for _, tc := range m.tcs {
+				if tc.Probe(lineAddr) {
+					return true
+				}
+			}
+			return false
+		},
+		// Persistent lines never reach memory through the hierarchy,
+		// so no writeback carries durable semantics.
+		WritebackApply: func(lineAddr uint64) func() { return nil },
+	}
+}
+
+func (m *tcMech) Attach(h *cache.Hierarchy) { m.hier = h }
+
+func (m *tcMech) Rewrite(core int, r trace.Reader) trace.Reader { return r }
+
+func (m *tcMech) TxBegin(core int, txID uint64) {}
+
+// Store copies the persistent store into the TC beside the normal cache
+// path. A full TC stalls the core; at the high-water mark the store takes
+// the copy-on-write fall-back.
+func (m *tcMech) Store(core int, txID uint64, addr, value uint64) cpu.StoreAction {
+	if m.fbActive[core] && m.fbTx[core] == txID {
+		m.fallbackWrite(core, addr, value)
+		return cpu.StoreAction{}
+	}
+	switch m.tcs[core].Write(txID, addr, value) {
+	case txcache.Accepted:
+		return cpu.StoreAction{}
+	case txcache.Fallback:
+		m.fbActive[core] = true
+		m.fbTx[core] = txID
+		m.FallbackTxs++
+		// The whole transaction moves to the copy-on-write path: its
+		// TC-resident entries are evicted into the shadow first (in
+		// program order), so no word of this transaction has updates
+		// split across the two durability paths.
+		for _, e := range m.tcs[core].EvictTx(txID) {
+			m.fallbackWrite(core, e.Addr, e.Value)
+		}
+		m.fallbackWrite(core, addr, value)
+		return cpu.StoreAction{}
+	default: // Full
+		return cpu.StoreAction{Retry: true}
+	}
+}
+
+// fallbackWrite sends one shadow (copy-on-write) update to NVM.
+func (m *tcMech) fallbackWrite(core int, addr, value uint64) {
+	slot := m.shadowCursor[core]
+	m.shadowCursor[core] += 2 * memaddr.WordSize
+	if m.shadowCursor[core] > m.shadow[core].End() {
+		panic(fmt.Sprintf("mechanism: tcache shadow log for core %d exhausted", core))
+	}
+	m.fbPending[core] = append(m.fbPending[core], trace.Write{Addr: memaddr.WordAddr(addr), Value: value})
+	m.fbOutstanding[core]++
+	m.env.Router.Write(memaddr.LineAddr(slot), nil, func() {
+		m.fbOutstanding[core]--
+		m.checkFallbackCommit(core)
+	})
+}
+
+// TxEnd commits: ordinarily a single commit request to the nonvolatile TC
+// (no stall); for an overflowed transaction the commit waits for shadow
+// durability plus a commit record.
+func (m *tcMech) TxEnd(core int, txID uint64, resume func()) bool {
+	if m.fbActive[core] && m.fbTx[core] == txID {
+		m.fbCommit[core] = func() {
+			// Invariant at this point: the shadow writes are durable
+			// AND the TC has drained its older committed entries, so
+			// the shadow apply cannot be overwritten by a stale
+			// in-flight TC drain.
+			// Commit record durable: apply the shadow writes, then
+			// commit the TC-resident entries — one atomic event.
+			slot := m.shadowCursor[core]
+			m.shadowCursor[core] += 2 * memaddr.WordSize
+			pend := m.fbPending[core]
+			m.env.Router.Write(memaddr.LineAddr(slot), func() {
+				for _, w := range pend {
+					m.env.Durable.WriteWord(w.Addr, w.Value)
+				}
+				m.tcs[core].Commit(txID)
+				m.committed[core]++
+			}, resume)
+			m.fbPending[core] = nil
+			m.fbActive[core] = false
+		}
+		m.checkFallbackCommit(core)
+		m.pollFallbackCommit(core)
+		return true
+	}
+	m.tcs[core].Commit(txID)
+	m.committed[core]++
+	return false
+}
+
+// checkFallbackCommit fires the deferred commit once the shadow writes
+// are durable and the core's TC has drained (ordering across
+// transactions: an older TC entry must not land after the shadow apply).
+func (m *tcMech) checkFallbackCommit(core int) {
+	if m.fbOutstanding[core] == 0 && m.tcs[core].Drained() && m.fbCommit[core] != nil {
+		commit := m.fbCommit[core]
+		m.fbCommit[core] = nil
+		commit()
+	}
+}
+
+// pollFallbackCommit re-checks the commit condition each cycle while the
+// TC drains (drain completion has no callback of its own).
+func (m *tcMech) pollFallbackCommit(core int) {
+	if m.fbCommit[core] == nil {
+		return
+	}
+	m.env.K.Schedule(1, func() {
+		m.checkFallbackCommit(core)
+		m.pollFallbackCommit(core)
+	})
+}
+
+func (m *tcMech) Drained() bool {
+	for c := 0; c < m.env.Cores; c++ {
+		if !m.tcs[c].Drained() || m.fbOutstanding[c] != 0 || m.fbCommit[c] != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *tcMech) DurablyCommitted(core int) uint64 { return m.committed[core] }
+
+// RecoveryCost scans the nonvolatile TCs and replays their committed
+// entries.
+func (m *tcMech) RecoveryCost() RecoveryCost {
+	scanned, writes := 0, 0
+	for _, tc := range m.tcs {
+		for _, e := range tc.Contents() {
+			scanned++
+			if e.State == txcache.Committed {
+				writes++
+			}
+		}
+	}
+	return RecoveryCost{
+		ScannedItems: scanned,
+		NVMWrites:    writes,
+		EstCycles:    estimateRecoveryCycles(scanned, writes),
+	}
+}
+
+// Recover replays the nonvolatile TCs: committed entries (in FIFO order)
+// are applied to the durable image; active entries belong to uncommitted
+// transactions and are discarded. Overflowed transactions were applied at
+// commit-record durability and need nothing here.
+func (m *tcMech) Recover(durable *memimage.Image) *memimage.Image {
+	out := durable.Snapshot()
+	for _, tc := range m.tcs {
+		for _, e := range tc.Contents() {
+			if e.State == txcache.Committed {
+				out.WriteWord(e.Addr, e.Value)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+// Package memaddr defines the simulated physical address map shared by the
+// whole system: a volatile DRAM region, a persistent NVM data region and a
+// persistent NVM log region (used by the software-logging mechanism), plus
+// cache-line and word arithmetic helpers.
+//
+// The map mirrors Figure 1 of the paper: the hybrid main memory exposes a
+// DRAM range for temporary data and an NVM range for persistent data. The
+// regions are placed far apart so a stray address is detected rather than
+// silently classified.
+package memaddr
+
+import "fmt"
+
+const (
+	// WordSize is the access granularity of the workloads: all
+	// manipulated key-value pairs in the benchmark suite are 64 bits.
+	WordSize = 8
+	// LineSize is the cache-line size in bytes across the hierarchy.
+	LineSize = 64
+	// WordsPerLine is the number of 64-bit words per cache line.
+	WordsPerLine = LineSize / WordSize
+)
+
+// Region bases. The gap between bases bounds the maximum region size.
+const (
+	DRAMBase   uint64 = 0x0000_1000_0000
+	NVMBase    uint64 = 0x1000_0000_0000
+	NVMLogBase uint64 = 0x2000_0000_0000
+	regionSpan uint64 = 0x1000_0000_0000
+)
+
+// Space classifies an address into one of the memory spaces.
+type Space int
+
+const (
+	// SpaceInvalid marks an address outside every region.
+	SpaceInvalid Space = iota
+	// SpaceDRAM is the volatile region backing non-persistent data.
+	SpaceDRAM
+	// SpaceNVM is the persistent data region.
+	SpaceNVM
+	// SpaceNVMLog is the persistent region reserved for write-ahead
+	// logs (software persistence) and hardware copy-on-write overflow.
+	SpaceNVMLog
+)
+
+// String returns a short name for the space.
+func (s Space) String() string {
+	switch s {
+	case SpaceDRAM:
+		return "DRAM"
+	case SpaceNVM:
+		return "NVM"
+	case SpaceNVMLog:
+		return "NVMLog"
+	default:
+		return "invalid"
+	}
+}
+
+// Classify reports which space addr falls into.
+func Classify(addr uint64) Space {
+	switch {
+	case addr >= NVMLogBase && addr < NVMLogBase+regionSpan:
+		return SpaceNVMLog
+	case addr >= NVMBase && addr < NVMBase+regionSpan:
+		return SpaceNVM
+	case addr >= DRAMBase && addr < NVMBase:
+		return SpaceDRAM
+	default:
+		return SpaceInvalid
+	}
+}
+
+// IsPersistent reports whether addr lives in nonvolatile memory (data or
+// log region). Persistent addresses are the ones whose stores require
+// atomicity and durability guarantees.
+func IsPersistent(addr uint64) bool {
+	s := Classify(addr)
+	return s == SpaceNVM || s == SpaceNVMLog
+}
+
+// LineAddr returns the address of the cache line containing addr.
+func LineAddr(addr uint64) uint64 { return addr &^ uint64(LineSize-1) }
+
+// LineOffset returns the byte offset of addr within its cache line.
+func LineOffset(addr uint64) uint64 { return addr & uint64(LineSize-1) }
+
+// WordAddr returns the address of the 64-bit word containing addr.
+func WordAddr(addr uint64) uint64 { return addr &^ uint64(WordSize-1) }
+
+// WordIndex returns the index (0..7) of addr's word within its line.
+func WordIndex(addr uint64) int {
+	return int((addr & uint64(LineSize-1)) / WordSize)
+}
+
+// IsWordAligned reports whether addr is 8-byte aligned.
+func IsWordAligned(addr uint64) bool { return addr%WordSize == 0 }
+
+// IsLineAligned reports whether addr is 64-byte aligned.
+func IsLineAligned(addr uint64) bool { return addr%LineSize == 0 }
+
+// Partition carves region [base, base+size) into n equally sized,
+// line-aligned sub-regions, one per core, so multiprogrammed workloads are
+// guaranteed disjoint. It panics if the region cannot hold n line-aligned
+// partitions.
+func Partition(base, size uint64, n int) []Range {
+	if n <= 0 {
+		panic("memaddr: Partition with non-positive n")
+	}
+	per := (size / uint64(n)) &^ uint64(LineSize-1)
+	if per == 0 {
+		panic(fmt.Sprintf("memaddr: region of %d bytes cannot hold %d line-aligned partitions", size, n))
+	}
+	out := make([]Range, n)
+	for i := range out {
+		out[i] = Range{Base: base + uint64(i)*per, Size: per}
+	}
+	return out
+}
+
+// Range is a half-open address interval [Base, Base+Size).
+type Range struct {
+	Base uint64
+	Size uint64
+}
+
+// End returns the first address past the range.
+func (r Range) End() uint64 { return r.Base + r.Size }
+
+// Contains reports whether addr falls inside the range.
+func (r Range) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.End()
+}
+
+// Overlaps reports whether two ranges share any address.
+func (r Range) Overlaps(o Range) bool {
+	return r.Base < o.End() && o.Base < r.End()
+}

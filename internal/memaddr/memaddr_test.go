@@ -1,0 +1,151 @@
+package memaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		want Space
+	}{
+		{0, SpaceInvalid},
+		{DRAMBase - 1, SpaceInvalid},
+		{DRAMBase, SpaceDRAM},
+		{DRAMBase + 1<<20, SpaceDRAM},
+		{NVMBase - 1, SpaceDRAM},
+		{NVMBase, SpaceNVM},
+		{NVMBase + 1<<30, SpaceNVM},
+		{NVMLogBase - 1, SpaceNVM},
+		{NVMLogBase, SpaceNVMLog},
+		{NVMLogBase + 4096, SpaceNVMLog},
+		{NVMLogBase + regionSpan, SpaceInvalid},
+	}
+	for _, c := range cases {
+		if got := Classify(c.addr); got != c.want {
+			t.Errorf("Classify(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestIsPersistent(t *testing.T) {
+	if IsPersistent(DRAMBase + 100) {
+		t.Error("DRAM address reported persistent")
+	}
+	if !IsPersistent(NVMBase + 100) {
+		t.Error("NVM address not reported persistent")
+	}
+	if !IsPersistent(NVMLogBase + 100) {
+		t.Error("log address not reported persistent")
+	}
+}
+
+func TestSpaceString(t *testing.T) {
+	names := map[Space]string{
+		SpaceDRAM: "DRAM", SpaceNVM: "NVM", SpaceNVMLog: "NVMLog", SpaceInvalid: "invalid",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestLineArithmetic(t *testing.T) {
+	addr := NVMBase + 64*3 + 24
+	if got := LineAddr(addr); got != NVMBase+64*3 {
+		t.Errorf("LineAddr = %#x, want %#x", got, NVMBase+64*3)
+	}
+	if got := LineOffset(addr); got != 24 {
+		t.Errorf("LineOffset = %d, want 24", got)
+	}
+	if got := WordIndex(addr); got != 3 {
+		t.Errorf("WordIndex = %d, want 3", got)
+	}
+	if got := WordAddr(addr + 4); got != addr {
+		t.Errorf("WordAddr = %#x, want %#x", got, addr)
+	}
+}
+
+func TestAlignmentPredicates(t *testing.T) {
+	if !IsLineAligned(128) || IsLineAligned(129) {
+		t.Error("IsLineAligned wrong")
+	}
+	if !IsWordAligned(16) || IsWordAligned(17) {
+		t.Error("IsWordAligned wrong")
+	}
+}
+
+func TestPartitionDisjointAndAligned(t *testing.T) {
+	parts := Partition(NVMBase, 1<<20, 4)
+	if len(parts) != 4 {
+		t.Fatalf("got %d partitions, want 4", len(parts))
+	}
+	for i, p := range parts {
+		if !IsLineAligned(p.Base) {
+			t.Errorf("partition %d base %#x not line aligned", i, p.Base)
+		}
+		for j := i + 1; j < len(parts); j++ {
+			if p.Overlaps(parts[j]) {
+				t.Errorf("partitions %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestPartitionPanicsWhenTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Partition did not panic for a too-small region")
+		}
+	}()
+	Partition(NVMBase, 63, 4)
+}
+
+func TestRangeContains(t *testing.T) {
+	r := Range{Base: 100, Size: 50}
+	if !r.Contains(100) || !r.Contains(149) {
+		t.Error("Contains rejects in-range addresses")
+	}
+	if r.Contains(99) || r.Contains(150) {
+		t.Error("Contains accepts out-of-range addresses")
+	}
+	if r.End() != 150 {
+		t.Errorf("End = %d, want 150", r.End())
+	}
+}
+
+// Property: LineAddr is idempotent, word index is within a line, and
+// LineAddr+LineOffset reconstructs the address.
+func TestQuickLineDecomposition(t *testing.T) {
+	f := func(addr uint64) bool {
+		la := LineAddr(addr)
+		return LineAddr(la) == la &&
+			la+LineOffset(addr) == addr &&
+			WordIndex(addr) >= 0 && WordIndex(addr) < WordsPerLine &&
+			IsLineAligned(la)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: classification is stable across every address within one line —
+// a line never straddles two spaces (bases are line aligned and regions are
+// line-sized multiples).
+func TestQuickLineDoesNotStraddleSpaces(t *testing.T) {
+	f := func(addr uint64) bool {
+		base := LineAddr(addr)
+		s := Classify(base)
+		for off := uint64(0); off < LineSize; off += WordSize {
+			if Classify(base+off) != s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+// Package memctrl models the main-memory controllers — the DRAMSim2-like
+// half of the paper's simulation infrastructure. Each Controller owns one
+// channel (the system has two: one NVM, one DRAM, per Table 2) with
+// per-bank row-buffer timing, separate read and write queues, and the
+// paper's scheduling policy: read-first, with a write drain once the write
+// queue reaches 80% occupancy.
+//
+// Writes carry two callbacks: apply, run at the instant the write becomes
+// durable (the caller uses it to update the durable memory image), and
+// onDurable, the completion notification (the NVM controller's
+// acknowledgment message back to the transaction cache, §4.3).
+package memctrl
+
+import (
+	"pmemaccel/internal/sim"
+)
+
+// Config sizes and times one controller.
+type Config struct {
+	// Name labels the controller in stats output ("NVM", "DRAM").
+	Name string
+	// Banks is the total bank count (ranks x banks/rank).
+	Banks int
+	// RowBytes is the row-buffer size per bank.
+	RowBytes uint64
+	// Read/Write latencies in CPU cycles, split by row-buffer outcome.
+	ReadHit, ReadMiss   uint64
+	WriteHit, WriteMiss uint64
+	// ReadWindow/WriteWindow are the scheduling-queue depths (8/64 in
+	// Table 2): only the first Window entries of each pending FIFO are
+	// candidates for out-of-order (row-hit-first) issue.
+	ReadWindow, WriteWindow int
+	// DrainHigh starts a write drain when pending writes reach this
+	// count; DrainLow ends it. Table 2: drain at 80% of the 64-entry
+	// queue.
+	DrainHigh, DrainLow int
+	// CmdPerCycle is the command-issue bandwidth (default 1).
+	CmdPerCycle int
+}
+
+// WithDefaults fills zero fields with usable defaults.
+func (c Config) WithDefaults() Config {
+	if c.Banks == 0 {
+		c.Banks = 32
+	}
+	if c.RowBytes == 0 {
+		c.RowBytes = 8192
+	}
+	if c.ReadWindow == 0 {
+		c.ReadWindow = 8
+	}
+	if c.WriteWindow == 0 {
+		c.WriteWindow = 64
+	}
+	if c.DrainHigh == 0 {
+		c.DrainHigh = c.WriteWindow * 8 / 10
+	}
+	if c.DrainLow == 0 {
+		c.DrainLow = c.WriteWindow / 4
+	}
+	if c.CmdPerCycle == 0 {
+		c.CmdPerCycle = 1
+	}
+	return c
+}
+
+type request struct {
+	lineAddr uint64
+	apply    func()
+	done     func()
+	enqueue  uint64
+}
+
+type bank struct {
+	busyUntil uint64
+	openRow   uint64
+	hasOpen   bool
+}
+
+// Stats accumulates controller activity.
+type Stats struct {
+	Reads, Writes      uint64
+	RowHits, RowMisses uint64
+	ReadLatencySum     uint64 // enqueue -> data, in cycles
+	ReadLatencyMax     uint64
+	WriteQueuePeak     int
+	DrainEntries       uint64 // times a drain started
+	BusyCycles         uint64 // cycles with >= 1 command issued
+}
+
+// Controller is one memory channel. Register it with the kernel so Tick
+// runs every cycle.
+type Controller struct {
+	k     *sim.Kernel
+	cfg   Config
+	banks []bank
+
+	reads    []request
+	writes   []request
+	inFlight int // issued commands whose completion has not fired
+	draining bool
+
+	stats Stats
+	wear  *Wear
+}
+
+// New returns a controller registered with k.
+func New(k *sim.Kernel, cfg Config) *Controller {
+	cfg = cfg.WithDefaults()
+	c := &Controller{k: k, cfg: cfg, banks: make([]bank, cfg.Banks), wear: newWear()}
+	k.Register(c)
+	return c
+}
+
+// Config returns the (defaulted) configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Wear returns the per-line write-count tracker (endurance analysis).
+func (c *Controller) Wear() *Wear { return c.wear }
+
+// PendingReads reports queued, unissued reads.
+func (c *Controller) PendingReads() int { return len(c.reads) }
+
+// PendingWrites reports queued, unissued writes.
+func (c *Controller) PendingWrites() int { return len(c.writes) }
+
+// Read enqueues a line read; done fires when the data returns.
+func (c *Controller) Read(lineAddr uint64, done func()) {
+	c.reads = append(c.reads, request{lineAddr: lineAddr, done: done, enqueue: c.k.Now()})
+}
+
+// Write enqueues a line write. apply (may be nil) runs at durability time,
+// immediately before onDurable (may be nil).
+func (c *Controller) Write(lineAddr uint64, apply, onDurable func()) {
+	c.writes = append(c.writes, request{lineAddr: lineAddr, apply: apply, done: onDurable, enqueue: c.k.Now()})
+	if len(c.writes) > c.stats.WriteQueuePeak {
+		c.stats.WriteQueuePeak = len(c.writes)
+	}
+}
+
+func (c *Controller) bankOf(lineAddr uint64) int {
+	return int((lineAddr / 64) % uint64(c.cfg.Banks))
+}
+
+func (c *Controller) rowOf(lineAddr uint64) uint64 {
+	return lineAddr / c.cfg.RowBytes / uint64(c.cfg.Banks)
+}
+
+// pickIssuable returns the index of the request to issue from q (bounded
+// by window): the first row-hit whose bank is idle, else the oldest whose
+// bank is idle, else -1 (FR-FCFS within the scheduling window).
+func (c *Controller) pickIssuable(q []request, window int, now uint64) int {
+	limit := len(q)
+	if limit > window {
+		limit = window
+	}
+	oldest := -1
+	for i := 0; i < limit; i++ {
+		b := c.bankOf(q[i].lineAddr)
+		if c.banks[b].busyUntil > now {
+			continue
+		}
+		if c.banks[b].hasOpen && c.banks[b].openRow == c.rowOf(q[i].lineAddr) {
+			return i
+		}
+		if oldest < 0 {
+			oldest = i
+		}
+	}
+	return oldest
+}
+
+func (c *Controller) issue(q *[]request, idx int, isWrite bool, now uint64) {
+	r := (*q)[idx]
+	*q = append((*q)[:idx], (*q)[idx+1:]...)
+	b := c.bankOf(r.lineAddr)
+	row := c.rowOf(r.lineAddr)
+	hit := c.banks[b].hasOpen && c.banks[b].openRow == row
+	var lat uint64
+	switch {
+	case isWrite && hit:
+		lat = c.cfg.WriteHit
+	case isWrite:
+		lat = c.cfg.WriteMiss
+	case hit:
+		lat = c.cfg.ReadHit
+	default:
+		lat = c.cfg.ReadMiss
+	}
+	c.banks[b].busyUntil = now + lat
+	c.banks[b].openRow, c.banks[b].hasOpen = row, true
+	if hit {
+		c.stats.RowHits++
+	} else {
+		c.stats.RowMisses++
+	}
+	if isWrite {
+		c.stats.Writes++
+		c.wear.record(r.lineAddr)
+	} else {
+		c.stats.Reads++
+	}
+	c.inFlight++
+	req := r
+	c.k.Schedule(lat, func() {
+		c.inFlight--
+		if !isWrite {
+			l := c.k.Now() - req.enqueue
+			c.stats.ReadLatencySum += l
+			if l > c.stats.ReadLatencyMax {
+				c.stats.ReadLatencyMax = l
+			}
+		}
+		if req.apply != nil {
+			req.apply()
+		}
+		if req.done != nil {
+			req.done()
+		}
+	})
+}
+
+// Tick implements sim.Tickable: issue up to CmdPerCycle commands under the
+// read-first / write-drain policy.
+func (c *Controller) Tick(now uint64) {
+	if !c.draining && len(c.writes) >= c.cfg.DrainHigh {
+		c.draining = true
+		c.stats.DrainEntries++
+	}
+	if c.draining && len(c.writes) <= c.cfg.DrainLow {
+		c.draining = false
+	}
+	issued := false
+	for n := 0; n < c.cfg.CmdPerCycle; n++ {
+		if c.draining {
+			if i := c.pickIssuable(c.writes, c.cfg.WriteWindow, now); i >= 0 {
+				c.issue(&c.writes, i, true, now)
+				issued = true
+				continue
+			}
+			// Banks busy for every window entry: fall through to
+			// try reads rather than idling the channel.
+		}
+		if i := c.pickIssuable(c.reads, c.cfg.ReadWindow, now); i >= 0 {
+			c.issue(&c.reads, i, false, now)
+			issued = true
+			continue
+		}
+		// Reads empty or blocked: opportunistically issue writes.
+		if i := c.pickIssuable(c.writes, c.cfg.WriteWindow, now); i >= 0 {
+			c.issue(&c.writes, i, true, now)
+			issued = true
+		}
+	}
+	if issued {
+		c.stats.BusyCycles++
+	}
+}
+
+// Quiescent reports whether no requests are queued or in flight: every
+// accepted request has completed and fired its callbacks.
+func (c *Controller) Quiescent() bool {
+	return len(c.reads) == 0 && len(c.writes) == 0 && c.inFlight == 0
+}

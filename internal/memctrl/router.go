@@ -1,0 +1,49 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"pmemaccel/internal/memaddr"
+	"pmemaccel/internal/sim"
+)
+
+// Router dispatches line requests to the NVM or DRAM controller by
+// address space — the hybrid main memory of Figure 1. It satisfies the
+// cache hierarchy's Memory interface.
+type Router struct {
+	NVM  *Controller
+	DRAM *Controller
+}
+
+// NewRouter builds both controllers with the given configs and returns
+// the router.
+func NewRouter(k *sim.Kernel, nvm, dram Config) *Router {
+	return &Router{NVM: New(k, nvm), DRAM: New(k, dram)}
+}
+
+// For returns the controller owning addr. Log-region addresses are NVM.
+func (r *Router) For(addr uint64) *Controller {
+	switch memaddr.Classify(addr) {
+	case memaddr.SpaceDRAM:
+		return r.DRAM
+	case memaddr.SpaceNVM, memaddr.SpaceNVMLog:
+		return r.NVM
+	default:
+		panic(fmt.Sprintf("memctrl: request for unmapped address %#x", addr))
+	}
+}
+
+// Read enqueues a line read on the owning channel.
+func (r *Router) Read(lineAddr uint64, done func()) {
+	r.For(lineAddr).Read(lineAddr, done)
+}
+
+// Write enqueues a line write on the owning channel.
+func (r *Router) Write(lineAddr uint64, apply, onDurable func()) {
+	r.For(lineAddr).Write(lineAddr, apply, onDurable)
+}
+
+// Quiescent reports whether both channels are idle.
+func (r *Router) Quiescent() bool {
+	return r.NVM.Quiescent() && r.DRAM.Quiescent()
+}

@@ -1,0 +1,107 @@
+package memctrl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Wear tracks per-line write counts on a channel — endurance analysis for
+// NVM technologies with limited write cycles. The transaction cache
+// trades coalescing for decoupling (one NVM write per committed store),
+// so its wear profile versus Kiln's and Optimal's is a first-order
+// adoption question for STT-RAM/PCM deployments.
+type Wear struct {
+	counts map[uint64]uint64
+	total  uint64
+}
+
+// newWear returns an empty tracker.
+func newWear() *Wear {
+	return &Wear{counts: make(map[uint64]uint64)}
+}
+
+// record notes one write to lineAddr.
+func (w *Wear) record(lineAddr uint64) {
+	w.counts[lineAddr]++
+	w.total++
+}
+
+// LinesTouched reports how many distinct lines were written.
+func (w *Wear) LinesTouched() int { return len(w.counts) }
+
+// TotalWrites reports all writes.
+func (w *Wear) TotalWrites() uint64 { return w.total }
+
+// MaxLineWrites reports the hottest line's write count — the wear-out
+// bound absent wear leveling.
+func (w *Wear) MaxLineWrites() uint64 {
+	var max uint64
+	for _, c := range w.counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// MeanLineWrites reports the average writes per touched line.
+func (w *Wear) MeanLineWrites() float64 {
+	if len(w.counts) == 0 {
+		return 0
+	}
+	return float64(w.total) / float64(len(w.counts))
+}
+
+// Hotness is the max/mean ratio: 1.0 is perfectly even wear; large values
+// mean a few lines absorb most writes (the log head, hot tree nodes).
+func (w *Wear) Hotness() float64 {
+	mean := w.MeanLineWrites()
+	if mean == 0 {
+		return 0
+	}
+	return float64(w.MaxLineWrites()) / mean
+}
+
+// TopLines returns the n hottest lines, hottest first.
+func (w *Wear) TopLines(n int) []struct {
+	Line   uint64
+	Writes uint64
+} {
+	type lw struct {
+		Line   uint64
+		Writes uint64
+	}
+	all := make([]lw, 0, len(w.counts))
+	for l, c := range w.counts {
+		all = append(all, lw{l, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Writes != all[j].Writes {
+			return all[i].Writes > all[j].Writes
+		}
+		return all[i].Line < all[j].Line
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]struct {
+		Line   uint64
+		Writes uint64
+	}, n)
+	for i := 0; i < n; i++ {
+		out[i] = struct {
+			Line   uint64
+			Writes uint64
+		}{all[i].Line, all[i].Writes}
+	}
+	return out
+}
+
+// String summarizes the wear profile.
+func (w *Wear) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wear: %d writes over %d lines (mean %.2f, max %d, hotness %.1fx)",
+		w.TotalWrites(), w.LinesTouched(), w.MeanLineWrites(), w.MaxLineWrites(), w.Hotness())
+	return b.String()
+}

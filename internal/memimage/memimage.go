@@ -1,0 +1,144 @@
+// Package memimage provides functional (value-carrying) images of the
+// simulated physical memory. The simulator keeps timing and data separate:
+// caches and controllers model *when* accesses complete, while images model
+// *what* each memory would contain. Keeping real 64-bit values in the
+// durable NVM image, the transaction cache, the software log and the
+// nonvolatile LLC is what makes crash/recovery testing functional rather
+// than purely statistical.
+package memimage
+
+import (
+	"sort"
+
+	"pmemaccel/internal/memaddr"
+)
+
+// Image is a sparse, word-granular memory content image. Unwritten words
+// read as zero, matching hardware that zeroes (or never exposes) fresh
+// pages. The zero value is NOT usable; call New.
+type Image struct {
+	words map[uint64]uint64
+}
+
+// New returns an empty image.
+func New() *Image {
+	return &Image{words: make(map[uint64]uint64)}
+}
+
+// ReadWord returns the 64-bit word at addr. addr is word-aligned by the
+// caller's contract; misaligned addresses are aligned down.
+func (m *Image) ReadWord(addr uint64) uint64 {
+	return m.words[memaddr.WordAddr(addr)]
+}
+
+// WriteWord stores a 64-bit word at addr (aligned down).
+func (m *Image) WriteWord(addr, value uint64) {
+	m.words[memaddr.WordAddr(addr)] = value
+}
+
+// ReadLine returns the 8 words of the cache line containing addr.
+func (m *Image) ReadLine(addr uint64) [memaddr.WordsPerLine]uint64 {
+	base := memaddr.LineAddr(addr)
+	var line [memaddr.WordsPerLine]uint64
+	for i := range line {
+		line[i] = m.words[base+uint64(i)*memaddr.WordSize]
+	}
+	return line
+}
+
+// WriteLine stores 8 words at the cache line containing addr.
+func (m *Image) WriteLine(addr uint64, line [memaddr.WordsPerLine]uint64) {
+	base := memaddr.LineAddr(addr)
+	for i, w := range line {
+		m.words[base+uint64(i)*memaddr.WordSize] = w
+	}
+}
+
+// CopyLine copies the cache line containing addr from src into m. It is
+// the writeback primitive: "the volatile version of this line becomes the
+// durable version".
+func (m *Image) CopyLine(src *Image, addr uint64) {
+	m.WriteLine(addr, src.ReadLine(addr))
+}
+
+// Len reports the number of distinct words ever written.
+func (m *Image) Len() int { return len(m.words) }
+
+// Snapshot returns an independent deep copy, used to capture the durable
+// state at a crash point.
+func (m *Image) Snapshot() *Image {
+	c := &Image{words: make(map[uint64]uint64, len(m.words))}
+	for a, v := range m.words {
+		c.words[a] = v
+	}
+	return c
+}
+
+// Equal reports whether two images contain the same values at every word
+// (treating absent words as zero).
+func (m *Image) Equal(o *Image) bool {
+	return m.DiffLimit(o, 1) == 0
+}
+
+// Diff is a single word-level difference between two images.
+type Diff struct {
+	Addr uint64
+	A, B uint64
+}
+
+// DiffLimit counts word-level differences between m and o, stopping early
+// once limit differences are found (limit <= 0 means unlimited).
+func (m *Image) DiffLimit(o *Image, limit int) int {
+	n := 0
+	for a, v := range m.words {
+		if o.words[a] != v {
+			n++
+			if limit > 0 && n >= limit {
+				return n
+			}
+		}
+	}
+	for a, v := range o.words {
+		if v != 0 {
+			if _, ok := m.words[a]; !ok {
+				n++
+				if limit > 0 && n >= limit {
+					return n
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Diffs returns up to max word-level differences, sorted by address, for
+// diagnostics in failing tests.
+func (m *Image) Diffs(o *Image, max int) []Diff {
+	var out []Diff
+	seen := make(map[uint64]bool)
+	for a, v := range m.words {
+		if o.words[a] != v {
+			out = append(out, Diff{Addr: a, A: v, B: o.words[a]})
+			seen[a] = true
+		}
+	}
+	for a, v := range o.words {
+		if v != 0 && !seen[a] {
+			if _, ok := m.words[a]; !ok {
+				out = append(out, Diff{Addr: a, A: 0, B: v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// ForEach visits every written word in unspecified order.
+func (m *Image) ForEach(fn func(addr, value uint64)) {
+	for a, v := range m.words {
+		fn(a, v)
+	}
+}

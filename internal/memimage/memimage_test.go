@@ -1,0 +1,169 @@
+package memimage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmemaccel/internal/memaddr"
+)
+
+func TestUnwrittenWordsReadZero(t *testing.T) {
+	m := New()
+	if m.ReadWord(memaddr.NVMBase) != 0 {
+		t.Fatal("fresh image returned nonzero word")
+	}
+}
+
+func TestWriteReadWord(t *testing.T) {
+	m := New()
+	m.WriteWord(memaddr.NVMBase+8, 0xdeadbeef)
+	if got := m.ReadWord(memaddr.NVMBase + 8); got != 0xdeadbeef {
+		t.Fatalf("ReadWord = %#x, want 0xdeadbeef", got)
+	}
+}
+
+func TestMisalignedAccessAlignsDown(t *testing.T) {
+	m := New()
+	m.WriteWord(100, 7) // aligns to 96
+	if got := m.ReadWord(96); got != 7 {
+		t.Fatalf("ReadWord(96) = %d, want 7", got)
+	}
+	if got := m.ReadWord(103); got != 7 {
+		t.Fatalf("ReadWord(103) = %d, want 7 (same word)", got)
+	}
+}
+
+func TestLineRoundTrip(t *testing.T) {
+	m := New()
+	var line [memaddr.WordsPerLine]uint64
+	for i := range line {
+		line[i] = uint64(i * 11)
+	}
+	m.WriteLine(memaddr.NVMBase+128, line)
+	got := m.ReadLine(memaddr.NVMBase + 128 + 24) // any addr in line
+	if got != line {
+		t.Fatalf("ReadLine = %v, want %v", got, line)
+	}
+}
+
+func TestCopyLine(t *testing.T) {
+	src, dst := New(), New()
+	for i := 0; i < memaddr.WordsPerLine; i++ {
+		src.WriteWord(memaddr.NVMBase+uint64(i*8), uint64(i+1))
+	}
+	dst.CopyLine(src, memaddr.NVMBase+16)
+	for i := 0; i < memaddr.WordsPerLine; i++ {
+		if got := dst.ReadWord(memaddr.NVMBase + uint64(i*8)); got != uint64(i+1) {
+			t.Fatalf("word %d = %d after CopyLine, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestSnapshotIsIndependent(t *testing.T) {
+	m := New()
+	m.WriteWord(8, 1)
+	s := m.Snapshot()
+	m.WriteWord(8, 2)
+	m.WriteWord(16, 3)
+	if s.ReadWord(8) != 1 || s.ReadWord(16) != 0 {
+		t.Fatal("snapshot mutated by later writes")
+	}
+}
+
+func TestEqualAndDiff(t *testing.T) {
+	a, b := New(), New()
+	a.WriteWord(8, 1)
+	b.WriteWord(8, 1)
+	if !a.Equal(b) {
+		t.Fatal("identical images not Equal")
+	}
+	b.WriteWord(16, 9)
+	if a.Equal(b) {
+		t.Fatal("different images Equal")
+	}
+	diffs := a.Diffs(b, 10)
+	if len(diffs) != 1 || diffs[0].Addr != 16 || diffs[0].A != 0 || diffs[0].B != 9 {
+		t.Fatalf("Diffs = %+v, want one diff at 16 (0 vs 9)", diffs)
+	}
+}
+
+func TestExplicitZeroWriteEqualsAbsent(t *testing.T) {
+	a, b := New(), New()
+	a.WriteWord(8, 0)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("explicit zero should compare equal to unwritten")
+	}
+}
+
+func TestDiffLimitStopsEarly(t *testing.T) {
+	a, b := New(), New()
+	for i := uint64(0); i < 100; i++ {
+		a.WriteWord(i*8, i+1)
+	}
+	if got := a.DiffLimit(b, 5); got != 5 {
+		t.Fatalf("DiffLimit(5) = %d, want 5", got)
+	}
+	if got := a.DiffLimit(b, 0); got != 100 {
+		t.Fatalf("DiffLimit(0) = %d, want 100", got)
+	}
+}
+
+func TestForEachVisitsAllWrites(t *testing.T) {
+	m := New()
+	want := map[uint64]uint64{8: 1, 16: 2, 24: 3}
+	for a, v := range want {
+		m.WriteWord(a, v)
+	}
+	got := map[uint64]uint64{}
+	m.ForEach(func(a, v uint64) { got[a] = v })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d words, want %d", len(got), len(want))
+	}
+	for a, v := range want {
+		if got[a] != v {
+			t.Fatalf("ForEach got[%d] = %d, want %d", a, got[a], v)
+		}
+	}
+}
+
+// Property: a line write followed by word reads reconstructs the line, and
+// word writes followed by a line read reconstructs the words.
+func TestQuickLineWordAgreement(t *testing.T) {
+	f := func(base uint64, line [memaddr.WordsPerLine]uint64) bool {
+		base = memaddr.LineAddr(base)
+		m := New()
+		m.WriteLine(base, line)
+		for i := range line {
+			if m.ReadWord(base+uint64(i)*memaddr.WordSize) != line[i] {
+				return false
+			}
+		}
+		n := New()
+		for i := range line {
+			n.WriteWord(base+uint64(i)*memaddr.WordSize, line[i])
+		}
+		return n.ReadLine(base) == line
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Snapshot is Equal to the original, and Diff of an image with
+// itself is empty.
+func TestQuickSnapshotEqual(t *testing.T) {
+	f := func(writes []struct {
+		A uint64
+		V uint64
+	}) bool {
+		m := New()
+		for _, w := range writes {
+			m.WriteWord(w.A, w.V)
+		}
+		s := m.Snapshot()
+		return m.Equal(s) && s.Equal(m) && len(m.Diffs(s, 0)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

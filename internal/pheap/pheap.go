@@ -1,0 +1,88 @@
+// Package pheap implements the bump-pointer + size-class free-list
+// allocator that the benchmark data structures allocate from. It is the
+// simulation-side equivalent of the paper's p_malloc (Figure 1): workloads
+// receive word-aligned addresses inside their core's persistent (or
+// volatile) region.
+//
+// The allocator is deliberately bookkeeping-only: it does not emit trace
+// records itself. Workloads account the allocator's instruction cost with
+// an explicit Compute batch (see workload.CostAlloc), which keeps the
+// allocator reusable for both persistent and volatile regions without
+// entangling it with the trace layer.
+package pheap
+
+import (
+	"fmt"
+
+	"pmemaccel/internal/memaddr"
+)
+
+// Heap allocates word-aligned blocks from a fixed address range.
+type Heap struct {
+	region memaddr.Range
+	next   uint64
+	inUse  uint64
+	free   map[int][]uint64 // words -> reusable block addresses
+}
+
+// New returns a heap over region. The region base must be word aligned.
+func New(region memaddr.Range) *Heap {
+	if !memaddr.IsWordAligned(region.Base) {
+		panic(fmt.Sprintf("pheap: region base %#x not word aligned", region.Base))
+	}
+	return &Heap{region: region, next: region.Base, free: make(map[int][]uint64)}
+}
+
+// Region returns the range the heap allocates from.
+func (h *Heap) Region() memaddr.Range { return h.region }
+
+// Alloc returns the address of a block of the given number of 64-bit
+// words. Freed blocks of the same size are reused LIFO before the bump
+// pointer advances. It returns an error when the region is exhausted.
+func (h *Heap) Alloc(words int) (uint64, error) {
+	if words <= 0 {
+		return 0, fmt.Errorf("pheap: alloc of %d words", words)
+	}
+	if list := h.free[words]; len(list) > 0 {
+		addr := list[len(list)-1]
+		h.free[words] = list[:len(list)-1]
+		h.inUse += uint64(words) * memaddr.WordSize
+		return addr, nil
+	}
+	size := uint64(words) * memaddr.WordSize
+	if h.next+size > h.region.End() {
+		return 0, fmt.Errorf("pheap: out of memory: %d bytes requested, %d left in region [%#x,%#x)",
+			size, h.region.End()-h.next, h.region.Base, h.region.End())
+	}
+	addr := h.next
+	h.next += size
+	h.inUse += size
+	return addr, nil
+}
+
+// MustAlloc is Alloc for callers whose sizing is static (the workloads size
+// their heaps up front); it panics on exhaustion.
+func (h *Heap) MustAlloc(words int) uint64 {
+	addr, err := h.Alloc(words)
+	if err != nil {
+		panic(err)
+	}
+	return addr
+}
+
+// Free returns a block to the size-class free list. The caller must pass
+// the same word count used at allocation.
+func (h *Heap) Free(addr uint64, words int) {
+	if !h.region.Contains(addr) {
+		panic(fmt.Sprintf("pheap: free of %#x outside region", addr))
+	}
+	h.free[words] = append(h.free[words], addr)
+	h.inUse -= uint64(words) * memaddr.WordSize
+}
+
+// InUse reports the number of currently allocated bytes.
+func (h *Heap) InUse() uint64 { return h.inUse }
+
+// HighWater reports the highest address ever handed out (exclusive), i.e.
+// the touched footprint of the heap.
+func (h *Heap) HighWater() uint64 { return h.next }

@@ -1,0 +1,155 @@
+package pheap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmemaccel/internal/memaddr"
+)
+
+func testRegion() memaddr.Range {
+	return memaddr.Range{Base: memaddr.NVMBase, Size: 1 << 16}
+}
+
+func TestAllocReturnsAlignedDisjointBlocks(t *testing.T) {
+	h := New(testRegion())
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		addr := h.MustAlloc(3)
+		if !memaddr.IsWordAligned(addr) {
+			t.Fatalf("alloc %d: addr %#x not aligned", i, addr)
+		}
+		for w := uint64(0); w < 3; w++ {
+			wa := addr + w*8
+			if seen[wa] {
+				t.Fatalf("alloc %d: word %#x double-allocated", i, wa)
+			}
+			seen[wa] = true
+		}
+	}
+}
+
+func TestAllocRejectsNonPositive(t *testing.T) {
+	h := New(testRegion())
+	if _, err := h.Alloc(0); err == nil {
+		t.Fatal("Alloc(0) succeeded")
+	}
+	if _, err := h.Alloc(-1); err == nil {
+		t.Fatal("Alloc(-1) succeeded")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	h := New(memaddr.Range{Base: memaddr.NVMBase, Size: 64})
+	if _, err := h.Alloc(8); err != nil {
+		t.Fatalf("first alloc failed: %v", err)
+	}
+	if _, err := h.Alloc(1); err == nil {
+		t.Fatal("alloc past region end succeeded")
+	}
+}
+
+func TestFreeReuseLIFO(t *testing.T) {
+	h := New(testRegion())
+	a := h.MustAlloc(4)
+	b := h.MustAlloc(4)
+	h.Free(a, 4)
+	h.Free(b, 4)
+	if got := h.MustAlloc(4); got != b {
+		t.Fatalf("realloc = %#x, want LIFO reuse of %#x", got, b)
+	}
+	if got := h.MustAlloc(4); got != a {
+		t.Fatalf("second realloc = %#x, want %#x", got, a)
+	}
+}
+
+func TestFreeDifferentSizeClassNotReused(t *testing.T) {
+	h := New(testRegion())
+	a := h.MustAlloc(4)
+	h.Free(a, 4)
+	if got := h.MustAlloc(2); got == a {
+		t.Fatal("block reused across size classes")
+	}
+}
+
+func TestInUseAccounting(t *testing.T) {
+	h := New(testRegion())
+	a := h.MustAlloc(4)
+	_ = h.MustAlloc(2)
+	if h.InUse() != 48 {
+		t.Fatalf("InUse = %d, want 48", h.InUse())
+	}
+	h.Free(a, 4)
+	if h.InUse() != 16 {
+		t.Fatalf("InUse after free = %d, want 16", h.InUse())
+	}
+}
+
+func TestFreeOutsideRegionPanics(t *testing.T) {
+	h := New(testRegion())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free outside region did not panic")
+		}
+	}()
+	h.Free(memaddr.DRAMBase, 1)
+}
+
+func TestHighWater(t *testing.T) {
+	h := New(testRegion())
+	h.MustAlloc(10)
+	if h.HighWater() != memaddr.NVMBase+80 {
+		t.Fatalf("HighWater = %#x, want %#x", h.HighWater(), memaddr.NVMBase+80)
+	}
+	// Freeing and reusing must not advance the high water mark.
+	a := h.MustAlloc(2)
+	hw := h.HighWater()
+	h.Free(a, 2)
+	h.MustAlloc(2)
+	if h.HighWater() != hw {
+		t.Fatal("reuse advanced high-water mark")
+	}
+}
+
+// Property: live blocks never overlap and always stay inside the region,
+// under arbitrary alloc/free interleavings.
+func TestQuickNoOverlap(t *testing.T) {
+	type op struct {
+		Alloc bool
+		Words uint8
+	}
+	f := func(ops []op) bool {
+		h := New(testRegion())
+		type block struct {
+			addr  uint64
+			words int
+		}
+		var live []block
+		for _, o := range ops {
+			words := int(o.Words%16) + 1
+			if o.Alloc || len(live) == 0 {
+				addr, err := h.Alloc(words)
+				if err != nil {
+					continue // exhaustion is fine
+				}
+				if addr < h.Region().Base || addr+uint64(words)*8 > h.Region().End() {
+					return false
+				}
+				for _, b := range live {
+					if addr < b.addr+uint64(b.words)*8 && b.addr < addr+uint64(words)*8 {
+						return false // overlap
+					}
+				}
+				live = append(live, block{addr, words})
+			} else {
+				b := live[len(live)-1]
+				live = live[:len(live)-1]
+				h.Free(b.addr, b.words)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package recovery implements crash injection and recovery checking —
+// the simulation-side equivalent of pulling the plug on the paper's
+// system and rebooting.
+//
+// A trial runs a full system to an arbitrary crash cycle, discards
+// everything volatile (caches, store buffers, queues), runs the
+// mechanism's recovery over the durable state (NVM image plus the
+// mechanism's nonvolatile structures: transaction cache contents, the
+// software log, the NV-LLC), and then checks two properties per core:
+//
+//	atomicity  — the recovered NVM equals the base image plus exactly the
+//	             write sets of the first K committed transactions (the
+//	             mechanism's durably-committed count at the crash point);
+//	integrity  — the recovered data structure satisfies its own
+//	             invariants (a valid red-black tree, a sorted B+tree, ...).
+//
+// The Optimal mechanism guarantees neither; its trials demonstrate the
+// problem the paper sets out to solve.
+package recovery
+
+import (
+	"fmt"
+
+	"pmemaccel"
+	"pmemaccel/internal/mechanism"
+	"pmemaccel/internal/memimage"
+	"pmemaccel/internal/sim"
+	"pmemaccel/internal/workload"
+)
+
+// Trial is the outcome of one crash experiment.
+type Trial struct {
+	// CrashCycle is the cycle the plug was pulled (the run may quiesce
+	// earlier; FinishedEarly reports that).
+	CrashCycle    uint64
+	FinishedEarly bool
+	// CommittedPerCore is the durably-committed transaction count per
+	// core at the crash point.
+	CommittedPerCore []uint64
+	// AtomicityDiffs are word-level mismatches between the recovered
+	// image and the committed-prefix oracle (empty = atomic+durable).
+	AtomicityDiffs []memimage.Diff
+	// IntegrityErr is the structural-validation failure, if any.
+	IntegrityErr error
+	// Cost estimates the reboot-time recovery work at the crash point.
+	Cost mechanism.RecoveryCost
+}
+
+// OK reports whether the trial found no violation.
+func (tr *Trial) OK() bool {
+	return len(tr.AtomicityDiffs) == 0 && tr.IntegrityErr == nil
+}
+
+// String summarizes the trial.
+func (tr *Trial) String() string {
+	status := "consistent"
+	if !tr.OK() {
+		status = fmt.Sprintf("VIOLATION (%d word diffs, integrity: %v)",
+			len(tr.AtomicityDiffs), tr.IntegrityErr)
+	}
+	return fmt.Sprintf("crash@%d committed=%v recovery{scan=%d writes=%d ~%dcy}: %s",
+		tr.CrashCycle, tr.CommittedPerCore, tr.Cost.ScannedItems, tr.Cost.NVMWrites,
+		tr.Cost.EstCycles, status)
+}
+
+// RunTrial builds a system from cfg, runs it to crashCycle, crashes, and
+// checks recovery.
+func RunTrial(cfg pmemaccel.Config, crashCycle uint64) (*Trial, error) {
+	s, err := pmemaccel.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	finished := s.RunToCycle(crashCycle)
+	tr := &Trial{CrashCycle: s.Kernel.Now(), FinishedEarly: finished}
+	for c := 0; c < cfg.Cores; c++ {
+		tr.CommittedPerCore = append(tr.CommittedPerCore, s.Mech.DurablyCommitted(c))
+	}
+	tr.Cost = s.Mech.RecoveryCost()
+	recovered := s.RecoveredDurable()
+	tr.AtomicityDiffs = pmemaccel.CheckDurable(s.ExpectedDurable(), recovered, 32)
+	for _, out := range s.Outputs {
+		if err := workload.CheckImage(out.Benchmark, out.Meta, recovered); err != nil {
+			tr.IntegrityErr = err
+			break
+		}
+	}
+	return tr, nil
+}
+
+// Sweep runs trials at n pseudo-random crash cycles within (0, horizon].
+// It returns the trials and the count of violations.
+func Sweep(cfg pmemaccel.Config, n int, horizon uint64, seed uint64) ([]*Trial, int, error) {
+	rng := sim.NewRNG(seed)
+	var trials []*Trial
+	violations := 0
+	for i := 0; i < n; i++ {
+		cycle := rng.Uint64n(horizon) + 1
+		tr, err := RunTrial(cfg, cycle)
+		if err != nil {
+			return trials, violations, fmt.Errorf("trial %d (crash@%d): %w", i, cycle, err)
+		}
+		trials = append(trials, tr)
+		if !tr.OK() {
+			violations++
+		}
+	}
+	return trials, violations, nil
+}
+
+// Horizon estimates a crash horizon by running the workload once to
+// completion and returning its cycle count.
+func Horizon(cfg pmemaccel.Config) (uint64, error) {
+	res, err := pmemaccel.Run(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}

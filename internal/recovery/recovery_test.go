@@ -1,0 +1,233 @@
+package recovery
+
+import (
+	"testing"
+
+	"pmemaccel"
+	"pmemaccel/internal/workload"
+)
+
+// crashConfig is a small, fast configuration for crash sweeps.
+func crashConfig(b workload.Benchmark, m pmemaccel.Kind, seed uint64) pmemaccel.Config {
+	cfg := pmemaccel.DefaultConfig(b, m)
+	cfg.Seed = seed
+	cfg.Cores = 2
+	cfg.Scale = 256
+	cfg.InitialSize = 600
+	cfg.Ops = 250
+	return cfg
+}
+
+func TestGuaranteedMechanismsSurviveCrashes(t *testing.T) {
+	for _, m := range []pmemaccel.Kind{pmemaccel.SP, pmemaccel.TCache, pmemaccel.Kiln} {
+		for _, b := range workload.Extended {
+			b, m := b, m
+			t.Run(b.String()+"/"+m.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := crashConfig(b, m, 11)
+				horizon, err := Horizon(cfg)
+				if err != nil {
+					t.Fatalf("horizon: %v", err)
+				}
+				trials, violations, err := Sweep(cfg, 6, horizon, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if violations != 0 {
+					for _, tr := range trials {
+						if !tr.OK() {
+							t.Errorf("%v", tr)
+							if len(tr.AtomicityDiffs) > 0 {
+								t.Errorf("first diff: %+v", tr.AtomicityDiffs[0])
+							}
+						}
+					}
+					t.Fatalf("%d/%d crash trials violated persistence", violations, len(trials))
+				}
+			})
+		}
+	}
+}
+
+func TestOptimalViolatesPersistenceUnderCrash(t *testing.T) {
+	// The no-persistence baseline must (with overwhelming probability
+	// over many mid-run crash points) leave NVM inconsistent — the
+	// motivating failure of §2.
+	cfg := crashConfig(workload.SPS, pmemaccel.Optimal, 3)
+	horizon, err := Horizon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash in the middle third of the run, when traffic is in flight.
+	_, violations, err := Sweep(cfg, 6, horizon*2/3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations == 0 {
+		t.Fatal("optimal survived every crash; the baseline should demonstrate corruption")
+	}
+}
+
+func TestCrashAfterCompletionIsConsistent(t *testing.T) {
+	// Crashing after full quiescence must always recover cleanly for
+	// guaranteed mechanisms.
+	cfg := crashConfig(workload.Hashtable, pmemaccel.TCache, 5)
+	tr, err := RunTrial(cfg, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.FinishedEarly {
+		t.Fatal("run did not quiesce before the crash bound")
+	}
+	if !tr.OK() {
+		t.Fatalf("post-completion crash inconsistent: %v", tr)
+	}
+}
+
+func TestTrialReportsCommitCounts(t *testing.T) {
+	cfg := crashConfig(workload.RBTree, pmemaccel.TCache, 9)
+	horizon, err := Horizon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RunTrial(cfg, horizon/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.CommittedPerCore) != cfg.Cores {
+		t.Fatalf("committed counts for %d cores, want %d", len(tr.CommittedPerCore), cfg.Cores)
+	}
+	total := uint64(0)
+	for _, c := range tr.CommittedPerCore {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("mid-run crash saw zero committed transactions")
+	}
+}
+
+func TestRecoveryCostReported(t *testing.T) {
+	// Mid-run, the TCache mechanism holds buffered entries, so recovery
+	// has work to do; after quiescence it has none.
+	cfg := crashConfig(workload.SPS, pmemaccel.TCache, 21)
+	horizon, err := Horizon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := RunTrial(cfg, horizon/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err := RunTrial(cfg, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end.Cost.ScannedItems != 0 || end.Cost.NVMWrites != 0 {
+		t.Fatalf("post-quiescence recovery cost nonzero: %+v", end.Cost)
+	}
+	_ = mid // a mid-run TC may or may not hold entries at the sampled cycle
+}
+
+func TestSPRecoveryCostGrowsWithProgress(t *testing.T) {
+	// SP's recovery scans the whole durable log, which only grows.
+	cfg := crashConfig(workload.SPS, pmemaccel.SP, 22)
+	horizon, err := Horizon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := RunTrial(cfg, horizon/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := RunTrial(cfg, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.Cost.ScannedItems <= early.Cost.ScannedItems {
+		t.Fatalf("late scan %d not above early %d", late.Cost.ScannedItems, early.Cost.ScannedItems)
+	}
+	if late.Cost.EstCycles == 0 {
+		t.Fatal("late recovery estimate is zero")
+	}
+}
+
+func TestHeterogeneousMixSurvivesCrashes(t *testing.T) {
+	cfg := crashConfig(workload.RBTree, pmemaccel.TCache, 31)
+	cfg.Mix = []workload.Benchmark{workload.RBTree, workload.Hashtable}
+	horizon, err := Horizon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials, violations, err := Sweep(cfg, 5, horizon, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations != 0 {
+		for _, tr := range trials {
+			if !tr.OK() {
+				t.Errorf("%v", tr)
+			}
+		}
+		t.Fatalf("%d/%d mixed-workload crash trials violated persistence", violations, len(trials))
+	}
+}
+
+func TestBankCrashConservation(t *testing.T) {
+	// The money-conservation invariant is the sharpest atomicity probe:
+	// any torn transfer changes the total. All guaranteed mechanisms
+	// must conserve; Optimal must (almost always) tear.
+	for _, m := range []pmemaccel.Kind{pmemaccel.SP, pmemaccel.TCache, pmemaccel.Kiln} {
+		cfg := crashConfig(workload.Bank, m, 41)
+		horizon, err := Horizon(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		trials, violations, err := Sweep(cfg, 5, horizon, 19)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if violations != 0 {
+			for _, tr := range trials {
+				if !tr.OK() {
+					t.Errorf("%v: %v", m, tr)
+				}
+			}
+			t.Fatalf("%v destroyed or created money in %d/%d crashes", m, violations, len(trials))
+		}
+	}
+	cfg := crashConfig(workload.Bank, pmemaccel.Optimal, 41)
+	horizon, err := Horizon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, violations, err := Sweep(cfg, 5, horizon*2/3, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations == 0 {
+		t.Fatal("optimal conserved money in every crash; expected torn transfers")
+	}
+}
+
+func TestTrialsAreDeterministic(t *testing.T) {
+	cfg := crashConfig(workload.SPS, pmemaccel.TCache, 51)
+	a, err := RunTrial(cfg, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrial(cfg, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CrashCycle != b.CrashCycle || len(a.AtomicityDiffs) != len(b.AtomicityDiffs) {
+		t.Fatalf("identical trials diverged: %v vs %v", a, b)
+	}
+	for i := range a.CommittedPerCore {
+		if a.CommittedPerCore[i] != b.CommittedPerCore[i] {
+			t.Fatalf("committed counts diverged: %v vs %v", a.CommittedPerCore, b.CommittedPerCore)
+		}
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("recovery costs diverged: %+v vs %+v", a.Cost, b.Cost)
+	}
+}

@@ -1,0 +1,123 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// timed component in pmemaccel: a cycle clock, an event heap for latency
+// callbacks, and a registry of per-cycle tickable components.
+//
+// The kernel advances one cycle at a time. Within a cycle it first fires
+// every event scheduled for that cycle (in schedule order, so execution is
+// deterministic), then ticks every registered Tickable in registration
+// order. Components therefore see a consistent "events happen, then state
+// machines advance" discipline each cycle.
+package sim
+
+import "container/heap"
+
+// Tickable is a component that advances its state machine once per cycle.
+type Tickable interface {
+	// Tick advances the component by one cycle. The current cycle number
+	// is passed so components do not need a back-pointer to the kernel.
+	Tick(cycle uint64)
+}
+
+// event is a callback scheduled for a future cycle. seq breaks ties so that
+// two events scheduled for the same cycle fire in schedule order.
+type event struct {
+	cycle uint64
+	seq   uint64
+	fn    func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation engine. The zero value is not usable; use
+// NewKernel.
+type Kernel struct {
+	now       uint64
+	seq       uint64
+	events    eventHeap
+	tickables []Tickable
+}
+
+// NewKernel returns a kernel at cycle 0 with no pending events.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now reports the current cycle.
+func (k *Kernel) Now() uint64 { return k.now }
+
+// Register adds a component to the per-cycle tick list. Components tick in
+// registration order.
+func (k *Kernel) Register(t Tickable) {
+	k.tickables = append(k.tickables, t)
+}
+
+// Schedule arranges for fn to run delay cycles from now. A delay of 0 runs
+// fn at the start of the next cycle (events for the current cycle have
+// already fired), keeping same-cycle feedback loops impossible.
+func (k *Kernel) Schedule(delay uint64, fn func()) {
+	k.ScheduleAt(k.now+delay, fn)
+}
+
+// ScheduleAt arranges for fn to run at the given absolute cycle. Scheduling
+// in the past (or for the current cycle) is adjusted to the next cycle.
+func (k *Kernel) ScheduleAt(cycle uint64, fn func()) {
+	if cycle <= k.now {
+		cycle = k.now + 1
+	}
+	k.seq++
+	heap.Push(&k.events, event{cycle: cycle, seq: k.seq, fn: fn})
+}
+
+// Pending reports the number of not-yet-fired events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Step advances the clock by one cycle: fire due events, then tick every
+// registered component.
+func (k *Kernel) Step() {
+	k.now++
+	for len(k.events) > 0 && k.events[0].cycle <= k.now {
+		e := heap.Pop(&k.events).(event)
+		e.fn()
+	}
+	for _, t := range k.tickables {
+		t.Tick(k.now)
+	}
+}
+
+// RunUntil steps the kernel until the predicate returns true or the cycle
+// limit is reached. It returns the cycle at which it stopped and whether
+// the predicate was satisfied.
+func (k *Kernel) RunUntil(done func() bool, limit uint64) (uint64, bool) {
+	for !done() {
+		if k.now >= limit {
+			return k.now, false
+		}
+		k.Step()
+	}
+	return k.now, true
+}
+
+// Drain steps the kernel until no events remain, up to limit cycles.
+// Tickables still tick each stepped cycle. It reports whether the event
+// queue emptied.
+func (k *Kernel) Drain(limit uint64) bool {
+	_, ok := k.RunUntil(func() bool { return len(k.events) == 0 }, limit)
+	return ok
+}

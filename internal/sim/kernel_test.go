@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelStartsAtCycleZero(t *testing.T) {
+	k := NewKernel()
+	if k.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", k.Now())
+	}
+}
+
+func TestScheduleFiresAtExactCycle(t *testing.T) {
+	k := NewKernel()
+	fired := uint64(0)
+	k.Schedule(5, func() { fired = k.Now() })
+	for i := 0; i < 10; i++ {
+		k.Step()
+	}
+	if fired != 5 {
+		t.Fatalf("event fired at cycle %d, want 5", fired)
+	}
+}
+
+func TestZeroDelayFiresNextCycle(t *testing.T) {
+	k := NewKernel()
+	fired := uint64(0)
+	k.Schedule(0, func() { fired = k.Now() })
+	k.Step()
+	if fired != 1 {
+		t.Fatalf("zero-delay event fired at cycle %d, want 1", fired)
+	}
+}
+
+func TestSameCycleEventsFireInScheduleOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(3, func() { order = append(order, i) })
+	}
+	for i := 0; i < 5; i++ {
+		k.Step()
+	}
+	if len(order) != 10 {
+		t.Fatalf("fired %d events, want 10", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO within a cycle)", i, v, i)
+		}
+	}
+}
+
+func TestEventsFireInCycleOrderRegardlessOfScheduleOrder(t *testing.T) {
+	k := NewKernel()
+	var order []uint64
+	k.Schedule(7, func() { order = append(order, 7) })
+	k.Schedule(2, func() { order = append(order, 2) })
+	k.Schedule(5, func() { order = append(order, 5) })
+	for i := 0; i < 10; i++ {
+		k.Step()
+	}
+	want := []uint64{2, 5, 7}
+	if len(order) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestScheduleAtPastClampsToNextCycle(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 4; i++ {
+		k.Step()
+	}
+	fired := uint64(0)
+	k.ScheduleAt(1, func() { fired = k.Now() })
+	k.Step()
+	if fired != 5 {
+		t.Fatalf("past-scheduled event fired at %d, want 5 (next cycle)", fired)
+	}
+}
+
+func TestEventMayScheduleFurtherEvents(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			k.Schedule(2, chain)
+		}
+	}
+	k.Schedule(1, chain)
+	if !k.Drain(100) {
+		t.Fatal("Drain did not empty the queue")
+	}
+	if count != 5 {
+		t.Fatalf("chain ran %d times, want 5", count)
+	}
+	// 1, 3, 5, 7, 9
+	if k.Now() != 9 {
+		t.Fatalf("drained at cycle %d, want 9", k.Now())
+	}
+}
+
+type countingTicker struct {
+	ticks []uint64
+}
+
+func (c *countingTicker) Tick(cycle uint64) { c.ticks = append(c.ticks, cycle) }
+
+func TestTickablesTickEveryCycleInRegistrationOrder(t *testing.T) {
+	k := NewKernel()
+	a, b := &countingTicker{}, &countingTicker{}
+	k.Register(a)
+	k.Register(b)
+	for i := 0; i < 3; i++ {
+		k.Step()
+	}
+	for _, c := range []*countingTicker{a, b} {
+		if len(c.ticks) != 3 {
+			t.Fatalf("ticked %d times, want 3", len(c.ticks))
+		}
+		for i, cyc := range c.ticks {
+			if cyc != uint64(i+1) {
+				t.Fatalf("tick %d at cycle %d, want %d", i, cyc, i+1)
+			}
+		}
+	}
+}
+
+func TestEventsFireBeforeTicksWithinACycle(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Register(tickFunc(func(uint64) { order = append(order, "tick") }))
+	k.Schedule(1, func() { order = append(order, "event") })
+	k.Step()
+	if len(order) != 2 || order[0] != "event" || order[1] != "tick" {
+		t.Fatalf("order = %v, want [event tick]", order)
+	}
+}
+
+type tickFunc func(uint64)
+
+func (f tickFunc) Tick(cycle uint64) { f(cycle) }
+
+func TestRunUntilStopsOnPredicate(t *testing.T) {
+	k := NewKernel()
+	done := false
+	k.Schedule(12, func() { done = true })
+	cycle, ok := k.RunUntil(func() bool { return done }, 1000)
+	if !ok || cycle != 12 {
+		t.Fatalf("RunUntil = (%d, %v), want (12, true)", cycle, ok)
+	}
+}
+
+func TestRunUntilRespectsLimit(t *testing.T) {
+	k := NewKernel()
+	cycle, ok := k.RunUntil(func() bool { return false }, 50)
+	if ok || cycle != 50 {
+		t.Fatalf("RunUntil = (%d, %v), want (50, false)", cycle, ok)
+	}
+}
+
+func TestPendingCountsUnfiredEvents(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(1, func() {})
+	k.Schedule(2, func() {})
+	if k.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", k.Pending())
+	}
+	k.Step()
+	if k.Pending() != 1 {
+		t.Fatalf("Pending after one step = %d, want 1", k.Pending())
+	}
+}
+
+// Property: for any set of delays, events fire in non-decreasing cycle
+// order and each at exactly now+delay (clamped to >= now+1).
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) > 200 {
+			delays = delays[:200]
+		}
+		k := NewKernel()
+		type firing struct{ want, got uint64 }
+		var fired []firing
+		for _, d := range delays {
+			want := uint64(d)
+			if want == 0 {
+				want = 1
+			}
+			want += k.Now()
+			w := want
+			k.Schedule(uint64(d), func() {
+				fired = append(fired, firing{want: w, got: k.Now()})
+			})
+		}
+		k.Drain(1 << 20)
+		if len(fired) != len(delays) {
+			return false
+		}
+		prev := uint64(0)
+		for _, f := range fired {
+			if f.got != f.want || f.got < prev {
+				return false
+			}
+			prev = f.got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package stats turns raw run results into the paper's presentation:
+// per-benchmark series normalized to a baseline, geometric means, and
+// ASCII tables/bar charts for terminal output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series holds one metric across a (benchmark x mechanism) grid:
+// Values[benchmark][mechanism].
+type Series struct {
+	Name   string
+	Benchs []string
+	Mechs  []string
+	Values map[string]map[string]float64
+}
+
+// NewSeries allocates a series with the given axes.
+func NewSeries(name string, benchs, mechs []string) *Series {
+	v := make(map[string]map[string]float64, len(benchs))
+	for _, b := range benchs {
+		v[b] = make(map[string]float64, len(mechs))
+	}
+	return &Series{Name: name, Benchs: benchs, Mechs: mechs, Values: v}
+}
+
+// Set stores one cell.
+func (s *Series) Set(bench, mech string, v float64) { s.Values[bench][mech] = v }
+
+// Get reads one cell.
+func (s *Series) Get(bench, mech string) float64 { return s.Values[bench][mech] }
+
+// Normalized returns a new series with every row divided by the
+// baseline mechanism's cell (the paper normalizes everything to a chosen
+// scheme). Rows whose baseline is zero are left zero.
+func (s *Series) Normalized(baseline string) *Series {
+	out := NewSeries(s.Name+" (normalized to "+baseline+")", s.Benchs, s.Mechs)
+	for _, b := range s.Benchs {
+		base := s.Values[b][baseline]
+		for _, m := range s.Mechs {
+			if base != 0 {
+				out.Values[b][m] = s.Values[b][m] / base
+			}
+		}
+	}
+	return out
+}
+
+// Geomean computes the geometric mean of the column for mech across
+// benchmarks (zero cells are skipped).
+func (s *Series) Geomean(mech string) float64 {
+	sum, n := 0.0, 0
+	for _, b := range s.Benchs {
+		v := s.Values[b][mech]
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Table renders the series as an aligned ASCII table with a geomean row.
+func (s *Series) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Name)
+	w := 0
+	for _, bench := range s.Benchs {
+		if len(bench) > w {
+			w = len(bench)
+		}
+	}
+	if w < len("geomean") {
+		w = len("geomean")
+	}
+	fmt.Fprintf(&b, "%-*s", w+2, "")
+	for _, m := range s.Mechs {
+		fmt.Fprintf(&b, "%10s", m)
+	}
+	b.WriteByte('\n')
+	for _, bench := range s.Benchs {
+		fmt.Fprintf(&b, "%-*s", w+2, bench)
+		for _, m := range s.Mechs {
+			fmt.Fprintf(&b, "%10.3f", s.Values[bench][m])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-*s", w+2, "geomean")
+	for _, m := range s.Mechs {
+		fmt.Fprintf(&b, "%10.3f", s.Geomean(m))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Bars renders the series as per-benchmark ASCII bar groups, scaled so
+// the longest bar is width characters.
+func (s *Series) Bars(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	for _, bench := range s.Benchs {
+		for _, m := range s.Mechs {
+			if v := s.Values[bench][m]; v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	mw := 0
+	for _, m := range s.Mechs {
+		if len(m) > mw {
+			mw = len(m)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Name)
+	for _, bench := range s.Benchs {
+		fmt.Fprintf(&b, "%s\n", bench)
+		for _, m := range s.Mechs {
+			v := s.Values[bench][m]
+			n := int(v / max * float64(width))
+			fmt.Fprintf(&b, "  %-*s |%s %.3f\n", mw, m, strings.Repeat("#", n), v)
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the series as comma-separated values (benchmark rows,
+// mechanism columns).
+func (s *Series) CSV() string {
+	var b strings.Builder
+	b.WriteString("benchmark")
+	for _, m := range s.Mechs {
+		b.WriteString("," + m)
+	}
+	b.WriteByte('\n')
+	for _, bench := range s.Benchs {
+		b.WriteString(bench)
+		for _, m := range s.Mechs {
+			fmt.Fprintf(&b, ",%g", s.Values[bench][m])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortedKeys returns map keys in sorted order (deterministic output
+// helper).
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Markdown renders the series as a GitHub-flavoured markdown table with a
+// geomean row (the EXPERIMENTS.md format).
+func (s *Series) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", s.Name)
+	b.WriteString("| benchmark |")
+	for _, m := range s.Mechs {
+		fmt.Fprintf(&b, " %s |", m)
+	}
+	b.WriteString("\n|---|")
+	for range s.Mechs {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, bench := range s.Benchs {
+		fmt.Fprintf(&b, "| %s |", bench)
+		for _, m := range s.Mechs {
+			fmt.Fprintf(&b, " %.3f |", s.Values[bench][m])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("| **geomean** |")
+	for _, m := range s.Mechs {
+		fmt.Fprintf(&b, " **%.3f** |", s.Geomean(m))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Series {
+	s := NewSeries("ipc", []string{"a", "b"}, []string{"opt", "tc"})
+	s.Set("a", "opt", 2.0)
+	s.Set("a", "tc", 1.0)
+	s.Set("b", "opt", 4.0)
+	s.Set("b", "tc", 3.0)
+	return s
+}
+
+func TestSetGet(t *testing.T) {
+	s := sample()
+	if s.Get("a", "tc") != 1.0 || s.Get("b", "opt") != 4.0 {
+		t.Fatal("Get returned wrong cells")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	n := sample().Normalized("opt")
+	if n.Get("a", "opt") != 1.0 || n.Get("b", "opt") != 1.0 {
+		t.Fatal("baseline not 1.0")
+	}
+	if n.Get("a", "tc") != 0.5 || n.Get("b", "tc") != 0.75 {
+		t.Fatalf("normalized tc = %v,%v, want 0.5,0.75", n.Get("a", "tc"), n.Get("b", "tc"))
+	}
+}
+
+func TestNormalizedZeroBaseline(t *testing.T) {
+	s := NewSeries("x", []string{"a"}, []string{"opt", "tc"})
+	s.Set("a", "tc", 5)
+	n := s.Normalized("opt")
+	if n.Get("a", "tc") != 0 {
+		t.Fatal("zero baseline should zero the row")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	n := sample().Normalized("opt")
+	want := math.Sqrt(0.5 * 0.75)
+	if got := n.Geomean("tc"); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("geomean = %v, want %v", got, want)
+	}
+	if got := n.Geomean("opt"); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("baseline geomean = %v, want 1", got)
+	}
+}
+
+func TestGeomeanSkipsZeros(t *testing.T) {
+	s := NewSeries("x", []string{"a", "b"}, []string{"m"})
+	s.Set("a", "m", 4)
+	// b left zero
+	if got := s.Geomean("m"); got != 4 {
+		t.Fatalf("geomean = %v, want 4 (zero skipped)", got)
+	}
+}
+
+func TestTableOutput(t *testing.T) {
+	out := sample().Table()
+	for _, want := range []string{"ipc", "opt", "tc", "geomean", "2.000", "0.75"} {
+		if !strings.Contains(out, want) && want != "0.75" {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + 2 rows + geomean
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestBarsScaleToWidth(t *testing.T) {
+	out := sample().Bars(20)
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Fatalf("longest bar not at full width:\n%s", out)
+	}
+	if strings.Contains(out, strings.Repeat("#", 21)) {
+		t.Fatal("bar exceeded width")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := sample().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines, want 3", len(lines))
+	}
+	if lines[0] != "benchmark,opt,tc" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if lines[1] != "a,2,1" {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"c": 1, "a": 2, "b": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("SortedKeys = %v", got)
+	}
+}
+
+func TestMarkdownOutput(t *testing.T) {
+	out := sample().Normalized("opt").Markdown()
+	for _, want := range []string{"| benchmark |", "| a |", "**geomean**", "| 0.500 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

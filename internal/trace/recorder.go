@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"pmemaccel/internal/memaddr"
+	"pmemaccel/internal/memimage"
+)
+
+// Write is one durable word update, the unit of the recovery oracle.
+type Write struct {
+	Addr  uint64
+	Value uint64
+}
+
+// TxRecord is the oracle entry for one transaction: its id and its
+// persistent write set in program order.
+type TxRecord struct {
+	ID     uint64
+	Writes []Write
+}
+
+// Recorder is the memory interface the workloads program against. It plays
+// the role of the compiler plus persistent-heap runtime: every Load/Store
+// both updates the architectural program image (so the data structures
+// actually work) and appends a trace record. It also assigns transaction
+// ids (the CPU's "next TxID register" of §4.2) and maintains the oracle of
+// committed transactions used by crash-recovery checking.
+type Recorder struct {
+	Trace Trace
+
+	img    *memimage.Image
+	nextTx uint64
+	inTx   bool
+	curTx  uint64
+	quiet  bool
+
+	pending   []Write
+	committed []TxRecord
+}
+
+// NewRecorder returns a recorder writing through to img.
+func NewRecorder(img *memimage.Image) *Recorder {
+	return &Recorder{img: img, nextTx: 1}
+}
+
+// Image returns the architectural program image.
+func (r *Recorder) Image() *memimage.Image { return r.img }
+
+// SetQuiet toggles warmup mode. While quiet, accesses update the program
+// image but emit no trace records and publish nothing to the oracle —
+// this models prepopulation whose effects are already durable before the
+// measured window starts.
+func (r *Recorder) SetQuiet(quiet bool) { r.quiet = quiet }
+
+// Quiet reports whether warmup mode is active.
+func (r *Recorder) Quiet() bool { return r.quiet }
+
+// Load reads a 64-bit word, recording an independent access.
+func (r *Recorder) Load(addr uint64) uint64 {
+	if !r.quiet {
+		r.Trace.Append(Load(addr))
+	}
+	return r.img.ReadWord(addr)
+}
+
+// LoadDep reads a 64-bit word whose address was derived from an earlier
+// load (pointer chasing); the core serializes it behind outstanding
+// loads.
+func (r *Recorder) LoadDep(addr uint64) uint64 {
+	if !r.quiet {
+		r.Trace.Append(LoadDep(addr))
+	}
+	return r.img.ReadWord(addr)
+}
+
+// Store writes a 64-bit word, recording the access. Persistent stores
+// inside a transaction join the transaction's oracle write set.
+func (r *Recorder) Store(addr, value uint64) {
+	r.img.WriteWord(addr, value)
+	if r.quiet {
+		return
+	}
+	r.Trace.Append(Store(addr, value))
+	if r.inTx && memaddr.IsPersistent(addr) {
+		r.pending = append(r.pending, Write{Addr: memaddr.WordAddr(addr), Value: value})
+	}
+}
+
+// Compute records n non-memory instructions of work.
+func (r *Recorder) Compute(n int) {
+	if n <= 0 || r.quiet {
+		return
+	}
+	r.Trace.Append(Compute(n))
+}
+
+// TxBegin opens a durable transaction and returns its id. Transactions do
+// not nest; nesting panics because it is a workload programming error, not
+// a runtime condition.
+func (r *Recorder) TxBegin() uint64 {
+	if r.inTx {
+		panic("trace: nested TxBegin")
+	}
+	id := r.nextTx
+	r.nextTx++
+	r.inTx, r.curTx = true, id
+	r.pending = r.pending[:0]
+	if !r.quiet {
+		r.Trace.Append(TxBegin(id))
+	}
+	return id
+}
+
+// TxEnd commits the open transaction, adding its write set to the oracle.
+func (r *Recorder) TxEnd() {
+	if !r.inTx {
+		panic("trace: TxEnd outside transaction")
+	}
+	if !r.quiet {
+		r.Trace.Append(TxEnd(r.curTx))
+		ws := make([]Write, len(r.pending))
+		copy(ws, r.pending)
+		r.committed = append(r.committed, TxRecord{ID: r.curTx, Writes: ws})
+	}
+	r.inTx = false
+	r.pending = r.pending[:0]
+}
+
+// InTx reports whether a transaction is open.
+func (r *Recorder) InTx() bool { return r.inTx }
+
+// Committed returns the oracle: every committed transaction with its
+// persistent write set, in commit order.
+func (r *Recorder) Committed() []TxRecord { return r.committed }
+
+// CommittedPrefixImage builds the durable NVM image that results from
+// applying the first n committed transactions to base (nil base means an
+// empty image). Recovery checking compares a post-crash recovered image
+// against one of these prefixes.
+func (r *Recorder) CommittedPrefixImage(base *memimage.Image, n int) *memimage.Image {
+	var img *memimage.Image
+	if base != nil {
+		img = base.Snapshot()
+	} else {
+		img = memimage.New()
+	}
+	if n > len(r.committed) {
+		n = len(r.committed)
+	}
+	for _, tx := range r.committed[:n] {
+		for _, w := range tx.Writes {
+			img.WriteWord(w.Addr, w.Value)
+		}
+	}
+	return img
+}

@@ -1,0 +1,225 @@
+package workload
+
+// Structural validators over arbitrary NVM images. After a crash and
+// recovery, the recovered image must be SOME consistent state of the data
+// structure (a committed prefix), so these checks are size-agnostic: they
+// verify invariants — ordering, balance, reachability, no cycles — but
+// not element counts.
+
+import (
+	"fmt"
+
+	"pmemaccel/internal/memimage"
+)
+
+// Meta carries the structure's anchor addresses, captured at generation
+// time, so a recovered image can be validated without the live workload.
+type Meta struct {
+	// RootPtr is the persistent root-pointer word (rbtree, btree).
+	RootPtr uint64
+	// Buckets/NBuckets describe the hashtable's bucket array.
+	Buckets  uint64
+	NBuckets int
+	// Heads/Vertices describe the graph's vertex table.
+	Heads    uint64
+	Vertices int
+	// ArrayBase/ArrayLen describe the sps array.
+	ArrayBase uint64
+	ArrayLen  int
+	// MaxElems bounds traversals (cycle detection).
+	MaxElems int
+}
+
+// CheckImage verifies benchmark b's structural invariants against img.
+func CheckImage(b Benchmark, meta Meta, img *memimage.Image) error {
+	switch b {
+	case SPS:
+		return checkSPSImage(meta, img)
+	case Graph:
+		return checkGraphImage(meta, img)
+	case Hashtable:
+		return checkHashtableImage(meta, img)
+	case RBTree:
+		return checkRBTreeImage(meta, img)
+	case BTree:
+		return checkBTreeImage(meta, img)
+	case Bank:
+		return checkBankImage(meta, img)
+	default:
+		return fmt.Errorf("workload: no image checker for %v", b)
+	}
+}
+
+// checkSPSImage: swaps permute, so any committed prefix is exactly the
+// multiset {1..n}.
+func checkSPSImage(meta Meta, img *memimage.Image) error {
+	seen := make(map[uint64]bool, meta.ArrayLen)
+	for i := 0; i < meta.ArrayLen; i++ {
+		v := img.ReadWord(meta.ArrayBase + uint64(i)*8)
+		if v < 1 || v > uint64(meta.ArrayLen) {
+			return fmt.Errorf("sps[%d] = %d outside 1..%d", i, v, meta.ArrayLen)
+		}
+		if seen[v] {
+			return fmt.Errorf("sps value %d duplicated", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+func checkGraphImage(meta Meta, img *memimage.Image) error {
+	total := 0
+	for v := 0; v < meta.Vertices; v++ {
+		node := img.ReadWord(meta.Heads + uint64(v)*8)
+		steps := 0
+		for node != 0 {
+			to := img.ReadWord(node + geTo*8)
+			if to >= uint64(meta.Vertices) {
+				return fmt.Errorf("graph vertex %d: edge to %d out of range", v, to)
+			}
+			node = img.ReadWord(node + geNext*8)
+			total++
+			if steps++; steps > meta.MaxElems {
+				return fmt.Errorf("graph vertex %d: cycle detected", v)
+			}
+		}
+	}
+	if total > meta.MaxElems {
+		return fmt.Errorf("graph has %d reachable edges, bound %d", total, meta.MaxElems)
+	}
+	return nil
+}
+
+func checkHashtableImage(meta Meta, img *memimage.Image) error {
+	seen := make(map[uint64]bool)
+	for i := 0; i < meta.NBuckets; i++ {
+		node := img.ReadWord(meta.Buckets + uint64(i)*8)
+		steps := 0
+		for node != 0 {
+			key := img.ReadWord(node + htKey*8)
+			if key == 0 {
+				return fmt.Errorf("hashtable bucket %d: zero key at %#x", i, node)
+			}
+			if hash(key)%uint64(meta.NBuckets) != uint64(i) {
+				return fmt.Errorf("hashtable key %d in wrong bucket %d", key, i)
+			}
+			if seen[key] {
+				return fmt.Errorf("hashtable key %d duplicated", key)
+			}
+			seen[key] = true
+			node = img.ReadWord(node + htNext*8)
+			if steps++; steps > meta.MaxElems {
+				return fmt.Errorf("hashtable bucket %d: cycle detected", i)
+			}
+		}
+	}
+	return nil
+}
+
+func checkRBTreeImage(meta Meta, img *memimage.Image) error {
+	read := func(n, f uint64) uint64 { return img.ReadWord(n + f*8) }
+	root := img.ReadWord(meta.RootPtr)
+	if root == 0 {
+		return nil
+	}
+	if read(root, rbColor) != rbBlack {
+		return fmt.Errorf("rbtree root is red")
+	}
+	count := 0
+	var walk func(n, lo, hi uint64) (int, error)
+	walk = func(n, lo, hi uint64) (int, error) {
+		if n == 0 {
+			return 1, nil
+		}
+		if count++; count > meta.MaxElems {
+			return 0, fmt.Errorf("rbtree cycle or overgrowth (> %d nodes)", meta.MaxElems)
+		}
+		k := read(n, rbKey)
+		if k <= lo || (hi != 0 && k >= hi) {
+			return 0, fmt.Errorf("rbtree node %#x key %d violates BST bounds", n, k)
+		}
+		l, r := read(n, rbLeft), read(n, rbRight)
+		if read(n, rbColor) == rbRed {
+			if (l != 0 && read(l, rbColor) == rbRed) || (r != 0 && read(r, rbColor) == rbRed) {
+				return 0, fmt.Errorf("rbtree red node %#x has red child", n)
+			}
+		}
+		bl, err := walk(l, lo, k)
+		if err != nil {
+			return 0, err
+		}
+		br, err := walk(r, k, hi)
+		if err != nil {
+			return 0, err
+		}
+		if bl != br {
+			return 0, fmt.Errorf("rbtree black heights differ at %#x", n)
+		}
+		if read(n, rbColor) == rbBlack {
+			bl++
+		}
+		return bl, nil
+	}
+	_, err := walk(root, 0, 0)
+	return err
+}
+
+func checkBTreeImage(meta Meta, img *memimage.Image) error {
+	root := img.ReadWord(meta.RootPtr)
+	if root == 0 {
+		return fmt.Errorf("btree root pointer is nil")
+	}
+	header := func(n uint64) (int, bool) {
+		h := img.ReadWord(n)
+		return int(h & 0xffffffff), h&btLeafBit != 0
+	}
+	leafDepth := -1
+	count := 0
+	var walk func(n, lo, hi uint64, depth int) error
+	walk = func(n, lo, hi uint64, depth int) error {
+		c, leaf := header(n)
+		if c < 0 || c > btMaxKeys {
+			return fmt.Errorf("btree node %#x count %d out of range", n, c)
+		}
+		if count += c; count > meta.MaxElems {
+			return fmt.Errorf("btree cycle or overgrowth")
+		}
+		var prev uint64
+		for i := 0; i < c; i++ {
+			k := img.ReadWord(n + uint64(1+i)*8)
+			if i > 0 && k <= prev {
+				return fmt.Errorf("btree node %#x keys unsorted", n)
+			}
+			if k < lo || (hi != 0 && k >= hi) {
+				return fmt.Errorf("btree node %#x key %d outside [%d,%d)", n, k, lo, hi)
+			}
+			prev = k
+		}
+		if leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("btree leaf depths differ (%d vs %d)", depth, leafDepth)
+			}
+			return nil
+		}
+		for i := 0; i <= c; i++ {
+			child := img.ReadWord(n + uint64(8+i)*8)
+			if child == 0 {
+				return fmt.Errorf("btree internal node %#x has nil child %d", n, i)
+			}
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = img.ReadWord(n + uint64(1+i-1)*8)
+			}
+			if i < c {
+				chi = img.ReadWord(n + uint64(1+i)*8)
+			}
+			if err := walk(child, clo, chi, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(root, 0, 0, 0)
+}

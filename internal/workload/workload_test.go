@@ -1,0 +1,316 @@
+package workload
+
+import (
+	"testing"
+
+	"pmemaccel/internal/memaddr"
+	"pmemaccel/internal/trace"
+)
+
+func testParams(seed uint64, initial, ops int) Params {
+	return Params{
+		Seed:             seed,
+		InitialSize:      initial,
+		Ops:              ops,
+		SearchesPerOp:    1,
+		PersistentRegion: memaddr.Range{Base: memaddr.NVMBase, Size: 1 << 26},
+		VolatileRegion:   memaddr.Range{Base: memaddr.DRAMBase, Size: 1 << 22},
+	}
+}
+
+func TestBenchmarkNamesRoundTrip(t *testing.T) {
+	for _, b := range All {
+		got, err := ParseBenchmark(b.String())
+		if err != nil || got != b {
+			t.Errorf("ParseBenchmark(%q) = %v, %v", b.String(), got, err)
+		}
+		if b.Description() == "unknown" {
+			t.Errorf("%v has no description", b)
+		}
+	}
+	if _, err := ParseBenchmark("nope"); err == nil {
+		t.Error("ParseBenchmark accepted unknown name")
+	}
+}
+
+func TestGenerateAllBenchmarks(t *testing.T) {
+	for _, b := range All {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			out, err := Generate(b, testParams(1, 200, 300))
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if err := trace.Validate(out.Trace); err != nil {
+				t.Fatalf("trace invalid: %v", err)
+			}
+			s := trace.Summarize(out.Trace)
+			if s.Transactions != 300 {
+				t.Errorf("transactions = %d, want 300 (one per op)", s.Transactions)
+			}
+			if s.PersistentStores == 0 {
+				t.Error("no persistent stores recorded")
+			}
+			if len(out.Recorder.Committed()) != 300 {
+				t.Errorf("oracle has %d txs, want 300", len(out.Recorder.Committed()))
+			}
+			if s.Instructions == 0 || s.Loads == 0 {
+				t.Error("empty instruction/load stream")
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, b := range All {
+		a1, err := Generate(b, testParams(7, 100, 150))
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		a2, err := Generate(b, testParams(7, 100, 150))
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		if a1.Trace.Len() != a2.Trace.Len() {
+			t.Fatalf("%v: trace lengths differ: %d vs %d", b, a1.Trace.Len(), a2.Trace.Len())
+		}
+		for i := range a1.Trace.Records {
+			if a1.Trace.Records[i] != a2.Trace.Records[i] {
+				t.Fatalf("%v: record %d differs", b, i)
+			}
+		}
+		if !a1.FinalImage.Equal(a2.FinalImage) {
+			t.Fatalf("%v: final images differ", b)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, err := Generate(RBTree, testParams(1, 100, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(RBTree, testParams(2, 100, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace.Len() == b.Trace.Len() {
+		same := true
+		for i := range a.Trace.Records {
+			if a.Trace.Records[i] != b.Trace.Records[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestFinalImageMatchesArchitecturalState(t *testing.T) {
+	// The base image plus all committed write sets must agree with the
+	// final architectural image on every persistent word the oracle
+	// touched.
+	for _, b := range All {
+		out, err := Generate(b, testParams(3, 150, 200))
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		arch := out.Recorder.Image()
+		bad := 0
+		out.FinalImage.ForEach(func(addr, v uint64) {
+			if memaddr.IsPersistent(addr) && arch.ReadWord(addr) != v {
+				bad++
+			}
+		})
+		if bad != 0 {
+			t.Errorf("%v: %d persistent words diverge between oracle and architecture", b, bad)
+		}
+	}
+}
+
+func TestSPSIsMostWriteIntensive(t *testing.T) {
+	// §5.2 singles out sps as the highest write intensity; confirm the
+	// workload suite preserves that ranking (persistent stores per
+	// instruction).
+	intensity := func(b Benchmark) float64 {
+		out, err := Generate(b, testParams(4, 300, 300))
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		s := trace.Summarize(out.Trace)
+		return float64(s.PersistentStores) / float64(s.Instructions)
+	}
+	sps := intensity(SPS)
+	for _, b := range []Benchmark{Graph, RBTree, BTree, Hashtable} {
+		if in := intensity(b); in >= sps {
+			t.Errorf("%v write intensity %.4f >= sps %.4f", b, in, sps)
+		}
+	}
+}
+
+func TestSetupTooSmallFails(t *testing.T) {
+	p := testParams(1, 0, 10)
+	if _, err := Generate(SPS, p); err == nil {
+		t.Error("sps with 0 elements did not fail")
+	}
+	if _, err := Generate(Graph, p); err == nil {
+		t.Error("graph with 0 vertices did not fail")
+	}
+}
+
+func TestHeapExhaustionSurfacesAsError(t *testing.T) {
+	p := testParams(1, 100, 100)
+	p.PersistentRegion.Size = 1 << 10 // far too small
+	if _, err := Generate(RBTree, p); err == nil {
+		t.Error("tiny persistent region did not fail")
+	}
+}
+
+func TestDefaultParamsDisjointAcrossCores(t *testing.T) {
+	const nCores = 4
+	var regions []memaddr.Range
+	for c := 0; c < nCores; c++ {
+		p := DefaultParams(RBTree, c, nCores, 1, 10, 10)
+		regions = append(regions, p.PersistentRegion, p.VolatileRegion)
+		if p.SearchesPerOp != 1 {
+			t.Errorf("core %d: rbtree SearchesPerOp = %d, want 1", c, p.SearchesPerOp)
+		}
+	}
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			if regions[i].Overlaps(regions[j]) {
+				t.Fatalf("regions %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestTraceHasVolatileTraffic(t *testing.T) {
+	out, err := Generate(SPS, testParams(5, 100, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.Summarize(out.Trace)
+	if s.Stores <= s.PersistentStores {
+		t.Error("no volatile stores in trace (DRAM path unexercised)")
+	}
+	if s.Loads <= s.PersistentLoads {
+		t.Error("no volatile loads in trace")
+	}
+}
+
+func TestTraceCompositionCharacteristics(t *testing.T) {
+	// Pin the qualitative character of each benchmark's memory stream:
+	// these are the properties the evaluation depends on.
+	type char struct {
+		minStoresPerTx, maxStoresPerTx float64
+		minLoadsPerStore               float64
+	}
+	want := map[Benchmark]char{
+		SPS:       {1.9, 2.3, 0.7},  // 2 stores, 2 loads per swap (plus ring traffic)
+		Graph:     {0.5, 4.5, 1.0},  // mostly 4-store inserts + updates
+		Hashtable: {1.0, 5.0, 1.5},  // insert + chain walk + lookup
+		RBTree:    {5.0, 40.0, 1.5}, // rebalancing writes + two descents
+		BTree:     {3.0, 40.0, 1.5}, // shifting writes + descents
+	}
+	for b, w := range want {
+		out, err := Generate(b, testParams(6, 400, 400))
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		s := trace.Summarize(out.Trace)
+		perTx := float64(s.PersistentStores) / float64(s.Transactions)
+		if perTx < w.minStoresPerTx || perTx > w.maxStoresPerTx {
+			t.Errorf("%v: %.2f persistent stores/tx outside [%.1f, %.1f]",
+				b, perTx, w.minStoresPerTx, w.maxStoresPerTx)
+		}
+		loadsPerStore := float64(s.Loads) / float64(s.Stores)
+		if loadsPerStore < w.minLoadsPerStore {
+			t.Errorf("%v: loads/store %.2f below %.2f", b, loadsPerStore, w.minLoadsPerStore)
+		}
+	}
+}
+
+func TestDependentLoadTagging(t *testing.T) {
+	// Pointer-chasing benchmarks must tag most loads dependent; sps must
+	// tag none.
+	depFraction := func(b Benchmark) float64 {
+		out, err := Generate(b, testParams(8, 300, 300))
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		var dep, all int
+		for _, r := range out.Trace.Records {
+			if r.Kind == trace.KindLoad {
+				all++
+				if r.Dep {
+					dep++
+				}
+			}
+		}
+		return float64(dep) / float64(all)
+	}
+	if f := depFraction(SPS); f != 0 {
+		t.Errorf("sps dependent-load fraction = %.2f, want 0", f)
+	}
+	for _, b := range []Benchmark{RBTree, BTree, Hashtable} {
+		if f := depFraction(b); f < 0.5 {
+			t.Errorf("%v dependent-load fraction = %.2f, want >= 0.5", b, f)
+		}
+	}
+}
+
+func TestMetaAnchorsPopulated(t *testing.T) {
+	for _, b := range All {
+		out, err := Generate(b, testParams(2, 200, 100))
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		m := out.Meta
+		ok := false
+		switch b {
+		case SPS:
+			ok = m.ArrayBase != 0 && m.ArrayLen > 0
+		case Graph:
+			ok = m.Heads != 0 && m.Vertices > 0
+		case Hashtable:
+			ok = m.Buckets != 0 && m.NBuckets > 0
+		case RBTree, BTree:
+			ok = m.RootPtr != 0
+		}
+		if !ok || m.MaxElems == 0 {
+			t.Errorf("%v meta anchors incomplete: %+v", b, m)
+		}
+		// The final architectural image must validate against the meta.
+		if err := CheckImage(b, m, out.Recorder.Image()); err != nil {
+			t.Errorf("%v: final image fails its own validator: %v", b, err)
+		}
+	}
+}
+
+func TestCheckImageDetectsCorruption(t *testing.T) {
+	// Corrupting the recovered image must trip the validators.
+	out, err := Generate(RBTree, testParams(4, 300, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := out.Recorder.Image().Snapshot()
+	root := img.ReadWord(out.Meta.RootPtr)
+	// Flip the root's color to red: a red root violates the invariants.
+	img.WriteWord(root+rbColor*8, rbRed)
+	if err := CheckImage(RBTree, out.Meta, img); err == nil {
+		t.Fatal("red root not detected")
+	}
+
+	outS, err := Generate(SPS, testParams(4, 300, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgS := outS.Recorder.Image().Snapshot()
+	imgS.WriteWord(outS.Meta.ArrayBase, 0) // 0 is outside 1..n
+	if err := CheckImage(SPS, outS.Meta, imgS); err == nil {
+		t.Fatal("sps corruption not detected")
+	}
+}

@@ -1,0 +1,271 @@
+// Package pmemaccel is a cycle-level simulator of the persistent memory
+// accelerator from "Leave the Cache Hierarchy Operation as It Is: A New
+// Persistent Memory Accelerating Approach" (Lai, Zhao, Yang — DAC 2017).
+//
+// The package assembles a four-core system — out-of-order-approximating
+// cores, a three-level cache hierarchy, hybrid DRAM+NVM main memory
+// behind two DRAMSim2-like controllers, and per-core nonvolatile
+// transaction caches — and runs the paper's five-benchmark suite under
+// any of the four evaluated persistence mechanisms (Optimal, SP, TCache,
+// Kiln). Results carry the metrics of the paper's Figures 6–10: IPC,
+// transaction throughput, LLC miss rate, NVM write traffic and persistent
+// load latency.
+//
+// Quick start:
+//
+//	cfg := pmemaccel.DefaultConfig(workload.RBTree, pmemaccel.TCache)
+//	res, err := pmemaccel.Run(cfg)
+//	fmt.Println(res.IPC())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package pmemaccel
+
+import (
+	"fmt"
+
+	"pmemaccel/internal/cache"
+	"pmemaccel/internal/cpu"
+	"pmemaccel/internal/mechanism"
+	"pmemaccel/internal/memctrl"
+	"pmemaccel/internal/txcache"
+	"pmemaccel/internal/workload"
+)
+
+// Config describes one simulation: the machine (Table 2), the benchmark
+// (Table 3) and the persistence mechanism (§5.1).
+type Config struct {
+	// Cores is the core count (Table 2: 4).
+	Cores int
+	// Seed drives every random choice in the run.
+	Seed uint64
+
+	Benchmark workload.Benchmark
+	Mechanism Kind
+
+	// Mix optionally assigns a different benchmark to every core
+	// (heterogeneous multiprogramming). When set its length must equal
+	// Cores; when empty every core runs Benchmark.
+	Mix []workload.Benchmark
+
+	// InitialSize and Ops size the benchmark: prepopulated elements and
+	// measured operations (transactions) per core.
+	InitialSize int
+	Ops         int
+
+	// Scale divides the cache and transaction-cache capacities by a
+	// power of two, shrinking the machine for fast runs while keeping
+	// capacity ratios. 1 reproduces Table 2 exactly.
+	Scale int
+	// ScaleTC also divides the transaction cache by Scale. Off by
+	// default: transaction footprints do not shrink with the machine,
+	// and the TC is sized to transactions, not to the hierarchy.
+	ScaleTC bool
+
+	CPU cpu.Config
+	// NVMTech selects the nonvolatile technology timing model
+	// (default STT-RAM, the paper's Table 2 choice).
+	NVMTech NVMTech
+	// TCBytes is the per-core transaction cache capacity (Table 2:
+	// 4 KB).
+	TCBytes int
+	// TCHighWaterFrac triggers the copy-on-write fall-back (0.9).
+	TCHighWaterFrac float64
+
+	// MaxCycles bounds the run (0 = default bound).
+	MaxCycles uint64
+}
+
+// Kind re-exports the mechanism identifier so API users need not import
+// the internal package.
+type Kind = mechanism.Kind
+
+// The four evaluated persistence mechanisms.
+const (
+	Optimal = mechanism.Optimal
+	SP      = mechanism.SP
+	TCache  = mechanism.TCache
+	Kiln    = mechanism.Kiln
+)
+
+// benchmarkFor returns the benchmark core c runs (honouring Mix).
+func (c Config) benchmarkFor(core int) workload.Benchmark {
+	if len(c.Mix) > 0 {
+		return c.Mix[core]
+	}
+	return c.Benchmark
+}
+
+// DefaultConfig returns a laptop-scale configuration (Scale 64) of the
+// Table 2 machine running the given benchmark and mechanism. The working
+// set is auto-sized (InitialSize 0) to several times the scaled LLC so
+// steady-state miss and write-back behaviour emerges within the run.
+func DefaultConfig(b workload.Benchmark, m Kind) Config {
+	return Config{
+		Cores:     4,
+		Seed:      1,
+		Benchmark: b,
+		Mechanism: m,
+		Ops:       12_000,
+		Scale:     64,
+		TCBytes:   4 << 10,
+	}
+}
+
+// PaperConfig returns the full Table 2 machine (Scale 1) with a
+// proportionally larger working set. Runs take correspondingly longer.
+func PaperConfig(b workload.Benchmark, m Kind) Config {
+	cfg := DefaultConfig(b, m)
+	cfg.Scale = 1
+	cfg.Ops = 40_000
+	return cfg
+}
+
+// footprintFactor is how many times the per-core LLC share the auto-sized
+// persistent working set occupies.
+const footprintFactor = 2
+
+// withDefaults validates and normalizes.
+func (c Config) withDefaults() (Config, error) {
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Scale < 0 || c.Scale&(c.Scale-1) != 0 {
+		return c, fmt.Errorf("pmemaccel: Scale %d must be a positive power of two", c.Scale)
+	}
+	if c.TCBytes == 0 {
+		c.TCBytes = 4 << 10
+	}
+	if len(c.Mix) > 0 && len(c.Mix) != c.Cores {
+		return c, fmt.Errorf("pmemaccel: Mix has %d entries for %d cores", len(c.Mix), c.Cores)
+	}
+	if c.InitialSize == 0 {
+		perCore := c.cacheConfig().WithDefaults().LLCSize / c.Cores
+		c.InitialSize = workload.SizeForFootprint(c.Benchmark, footprintFactor*perCore)
+	}
+	if c.Ops == 0 {
+		c.Ops = 1_000
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 2_000_000_000
+	}
+	c.CPU = c.CPU.WithDefaults()
+	return c, nil
+}
+
+// cacheConfig builds the hierarchy geometry for the (scaled) machine.
+// Private caches scale by at most 8 (shrinking an L1 below a few KB stops
+// modelling a cache at all); the LLC scales by the full factor, since the
+// LLC-to-working-set ratio is what drives miss-rate and write-back
+// behaviour.
+func (c Config) cacheConfig() cache.Config {
+	private := c.Scale
+	if private > 8 {
+		private = 8
+	}
+	cfg := cache.Config{
+		L1Size: 32 << 10 / private, L1Ways: 4, L1Latency: 1,
+		L2Size: 256 << 10 / private, L2Ways: 8, L2Latency: 9,
+		LLCSize: 64 << 20 / c.Scale, LLCWays: 16, LLCLatency: 20,
+		LLCPortsPerCycle: 1,
+	}
+	if c.Mechanism == Kiln {
+		// Kiln's LLC is STT-RAM: writes are slow (~20 ns against the 10 ns SRAM-like read),
+		// so commit-flush bursts block demand traffic (the §5.2
+		// "bursts of traffic in the cache hierarchy").
+		cfg.LLCWriteOccupancy = 8
+	}
+	return cfg
+}
+
+// tcConfig builds the per-core transaction cache configuration.
+func (c Config) tcConfig() txcache.Config {
+	size := c.TCBytes
+	if c.ScaleTC {
+		size /= c.Scale
+	}
+	return txcache.Config{
+		SizeBytes:     size,
+		EntryBytes:    64,
+		Latency:       1,
+		HighWaterFrac: c.TCHighWaterFrac,
+	}
+}
+
+// NVMTech selects the nonvolatile main-memory technology. The paper's
+// machine uses STT-RAM (Table 2); the introduction names PCM, RRAM and
+// 3D XPoint as the emerging alternatives, so the simulator models their
+// timing classes for sensitivity studies (cmd/ablation, the NVMTech
+// sweep).
+type NVMTech int
+
+const (
+	// STTRAM is the Table 2 technology: 65 ns read, 76 ns write.
+	STTRAM NVMTech = iota
+	// PCM is phase-change memory: similar reads, much slower writes.
+	PCM
+	// XPoint approximates 3D XPoint: slower reads, moderate writes.
+	XPoint
+)
+
+// String names the technology.
+func (t NVMTech) String() string {
+	switch t {
+	case STTRAM:
+		return "sttram"
+	case PCM:
+		return "pcm"
+	case XPoint:
+		return "3dxpoint"
+	default:
+		return fmt.Sprintf("nvmtech(%d)", int(t))
+	}
+}
+
+// NVMTechs lists the modelled technologies.
+var NVMTechs = []NVMTech{STTRAM, PCM, XPoint}
+
+// ParseNVMTech maps a name to a technology.
+func ParseNVMTech(name string) (NVMTech, error) {
+	for _, t := range NVMTechs {
+		if t.String() == name {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("pmemaccel: unknown NVM technology %q", name)
+}
+
+// nvmConfig is the NVM channel: 4 ranks x 8 banks with the selected
+// technology's array timings at 2 GHz.
+func (c Config) nvmConfig() memctrl.Config {
+	cfg := memctrl.Config{
+		Name: "NVM", Banks: 32, RowBytes: 8192,
+		ReadWindow: 8, WriteWindow: 64,
+	}
+	switch c.NVMTech {
+	case PCM:
+		// ~60 ns reads, ~300 ns SET-limited writes.
+		cfg.ReadHit, cfg.ReadMiss = 40, 120
+		cfg.WriteHit, cfg.WriteMiss = 500, 600
+	case XPoint:
+		// ~100 ns reads, ~150 ns writes.
+		cfg.ReadHit, cfg.ReadMiss = 60, 200
+		cfg.WriteHit, cfg.WriteMiss = 240, 300
+	default: // STT-RAM, Table 2: 65 ns read, 76 ns write.
+		cfg.ReadHit, cfg.ReadMiss = 40, 130
+		cfg.WriteHit, cfg.WriteMiss = 120, 152
+	}
+	return cfg
+}
+
+// dramConfig is the DDR3 channel of Table 2.
+func (c Config) dramConfig() memctrl.Config {
+	return memctrl.Config{
+		Name: "DRAM", Banks: 32, RowBytes: 8192,
+		ReadHit: 27, ReadMiss: 80, WriteHit: 27, WriteMiss: 80,
+		ReadWindow: 8, WriteWindow: 64,
+	}
+}

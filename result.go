@@ -1,0 +1,187 @@
+package pmemaccel
+
+import (
+	"fmt"
+	"strings"
+
+	"pmemaccel/internal/cache"
+	"pmemaccel/internal/cpu"
+	"pmemaccel/internal/memctrl"
+	"pmemaccel/internal/txcache"
+)
+
+// Result is everything one run measured — the raw material for every
+// figure in the paper's evaluation.
+type Result struct {
+	Config Config
+
+	// Cycles is the performance window: cycle 0 to the last core's
+	// retirement (post-run drains excluded, as in the paper).
+	Cycles uint64
+
+	PerCore []cpu.Stats
+	Hier    cache.Stats
+
+	L1MissRate  float64
+	L2MissRate  float64
+	LLCMissRate float64
+
+	NVM  memctrl.Stats
+	DRAM memctrl.Stats
+
+	// TC holds per-core transaction cache stats (TCache runs only).
+	TC []txcache.Stats
+
+	// DurableDiffs is the end-of-run consistency check: recovered NVM
+	// state versus the committed-transaction oracle. Empty for every
+	// mechanism that guarantees persistence; Optimal is exempt from the
+	// check (it guarantees nothing) and reports -1.
+	DurableDiffCount int
+
+	// PloadP50/P99 are persistent-load latency percentiles (upper
+	// bounds from log2 buckets) — tail behaviour behind Figure 10's
+	// mean.
+	PloadP50, PloadP99 uint64
+
+	// NVM endurance profile: distinct lines written, mean and max
+	// writes per line, and the max/mean hotness ratio. The TC's
+	// uncoalesced write stream is an endurance trade-off the paper
+	// does not quantify; we do.
+	NVMLinesTouched int
+	NVMWearMean     float64
+	NVMWearMax      uint64
+	NVMWearHotness  float64
+}
+
+func (s *System) collect(cycles uint64) *Result {
+	r := &Result{Config: s.Config, Cycles: cycles}
+	for _, c := range s.Cores {
+		r.PerCore = append(r.PerCore, c.Stats())
+	}
+	r.Hier = s.Hier.Stats()
+
+	var l1h, l1m, l2h, l2m uint64
+	for c := 0; c < s.Config.Cores; c++ {
+		l1h += s.Hier.L1(c).Hits
+		l1m += s.Hier.L1(c).Misses
+		l2h += s.Hier.L2(c).Hits
+		l2m += s.Hier.L2(c).Misses
+	}
+	if l1h+l1m > 0 {
+		r.L1MissRate = float64(l1m) / float64(l1h+l1m)
+	}
+	if l2h+l2m > 0 {
+		r.L2MissRate = float64(l2m) / float64(l2h+l2m)
+	}
+	r.LLCMissRate = s.Hier.LLC().MissRate()
+
+	r.NVM = s.Router.NVM.Stats()
+	r.DRAM = s.Router.DRAM.Stats()
+
+	if tp, ok := s.Mech.(interface{ TCStatsAll() []txcache.Stats }); ok {
+		r.TC = tp.TCStatsAll()
+	}
+
+	var hist [18]uint64
+	for _, st := range r.PerCore {
+		hist = cpu.MergeHist(hist, st.PloadHist)
+	}
+	agg := cpu.Stats{PersistentLoads: 0, PloadHist: hist}
+	for _, st := range r.PerCore {
+		agg.PersistentLoads += st.PersistentLoads
+	}
+	r.PloadP50 = cpu.PloadPercentile(agg, 0.5)
+	r.PloadP99 = cpu.PloadPercentile(agg, 0.99)
+
+	wear := s.Router.NVM.Wear()
+	r.NVMLinesTouched = wear.LinesTouched()
+	r.NVMWearMean = wear.MeanLineWrites()
+	r.NVMWearMax = wear.MaxLineWrites()
+	r.NVMWearHotness = wear.Hotness()
+
+	if s.Config.Mechanism == Optimal {
+		r.DurableDiffCount = -1
+	} else {
+		r.DurableDiffCount = len(CheckDurable(s.ExpectedDurable(), s.RecoveredDurable(), 0))
+	}
+	return r
+}
+
+// TotalInstructions sums retired instructions across cores.
+func (r *Result) TotalInstructions() uint64 {
+	var n uint64
+	for _, s := range r.PerCore {
+		n += s.Instructions
+	}
+	return n
+}
+
+// TotalTransactions sums committed transactions across cores.
+func (r *Result) TotalTransactions() uint64 {
+	var n uint64
+	for _, s := range r.PerCore {
+		n += s.Transactions
+	}
+	return n
+}
+
+// IPC is aggregate instructions per cycle (Figure 6's metric).
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.TotalInstructions()) / float64(r.Cycles)
+}
+
+// Throughput is transactions per kilocycle (Figure 7's metric, scaled
+// for readability).
+func (r *Result) Throughput() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.TotalTransactions()) / float64(r.Cycles) * 1000
+}
+
+// AvgPersistentLoadLatency is the mean cycles per persistent load
+// (Figure 10's metric).
+func (r *Result) AvgPersistentLoadLatency() float64 {
+	var sum, n uint64
+	for _, s := range r.PerCore {
+		sum += s.PersistentLoadLatencySum
+		n += s.PersistentLoads
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// NVMWriteTraffic is the write count at the NVM channel (Figure 9's
+// metric).
+func (r *Result) NVMWriteTraffic() uint64 { return r.NVM.Writes }
+
+// StallFraction reports the fraction of core-cycles spent in the given
+// stall counter extractor (e.g. TC-full stalls, §5.2).
+func (r *Result) StallFraction(get func(cpu.Stats) uint64) float64 {
+	var stall, total uint64
+	for _, s := range r.PerCore {
+		stall += get(s)
+		total += r.Cycles
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(stall) / float64(total)
+}
+
+// String summarizes the run for humans.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s: %d cycles, IPC %.3f, %.3f tx/kcycle, LLC miss %.2f%%, NVM writes %d, pload %.1f cy",
+		r.Config.Benchmark, r.Config.Mechanism, r.Cycles, r.IPC(), r.Throughput(),
+		r.LLCMissRate*100, r.NVMWriteTraffic(), r.AvgPersistentLoadLatency())
+	if r.DurableDiffCount > 0 {
+		fmt.Fprintf(&b, " [INCONSISTENT: %d diffs]", r.DurableDiffCount)
+	}
+	return b.String()
+}

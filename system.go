@@ -1,0 +1,211 @@
+package pmemaccel
+
+import (
+	"fmt"
+
+	"pmemaccel/internal/cache"
+	"pmemaccel/internal/cpu"
+	"pmemaccel/internal/mechanism"
+	"pmemaccel/internal/memaddr"
+	"pmemaccel/internal/memctrl"
+	"pmemaccel/internal/memimage"
+	"pmemaccel/internal/sim"
+	"pmemaccel/internal/trace"
+	"pmemaccel/internal/workload"
+)
+
+// System is one assembled simulation: workloads generated, machine built,
+// ready to run. Build with NewSystem; run with Run or step with
+// RunToCycle for crash experiments.
+type System struct {
+	Config Config
+
+	Kernel  *sim.Kernel
+	Router  *memctrl.Router
+	Hier    *cache.Hierarchy
+	Mech    mechanism.Mechanism
+	Cores   []*cpu.Core
+	Outputs []*workload.Output
+
+	// Live is the volatile shadow image (newest store values); Durable
+	// is the NVM content that survives a crash.
+	Live    *memimage.Image
+	Durable *memimage.Image
+}
+
+// NewSystem generates the per-core workloads and assembles the machine.
+func NewSystem(cfg Config) (*System, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &System{Config: cfg}
+
+	// Workloads first: their base images seed the memory state.
+	for c := 0; c < cfg.Cores; c++ {
+		bench := cfg.benchmarkFor(c)
+		p := workload.DefaultParams(bench, c, cfg.Cores, cfg.Seed, cfg.InitialSize, cfg.Ops)
+		out, err := workload.Generate(bench, p)
+		if err != nil {
+			return nil, fmt.Errorf("pmemaccel: core %d: %w", c, err)
+		}
+		s.Outputs = append(s.Outputs, out)
+	}
+
+	s.Kernel = sim.NewKernel()
+	s.Router = memctrl.NewRouter(s.Kernel, cfg.nvmConfig(), cfg.dramConfig())
+
+	// Memory images: the post-warmup state is architecturally live and
+	// (for persistent words) already durable.
+	s.Live = memimage.New()
+	s.Durable = memimage.New()
+	for _, out := range s.Outputs {
+		out.BaseImage.ForEach(func(addr, v uint64) {
+			s.Live.WriteWord(addr, v)
+			if memaddr.IsPersistent(addr) {
+				s.Durable.WriteWord(addr, v)
+			}
+		})
+	}
+
+	env := &mechanism.Env{
+		K:       s.Kernel,
+		Cores:   cfg.Cores,
+		Router:  s.Router,
+		Live:    s.Live,
+		Durable: s.Durable,
+		TC:      cfg.tcConfig(),
+	}
+	s.Mech = mechanism.New(cfg.Mechanism, env)
+	s.Hier = cache.New(s.Kernel, cfg.cacheConfig(), s.Router, s.Mech.Hooks(), cfg.Cores)
+	s.Mech.Attach(s.Hier)
+
+	for c := 0; c < cfg.Cores; c++ {
+		rd := s.Mech.Rewrite(c, trace.NewReader(s.Outputs[c].Trace))
+		core := cpu.New(s.Kernel, c, cfg.CPU, s.Hier, s.Mech, rd,
+			func(addr, value uint64) { s.Live.WriteWord(addr, value) })
+		s.Cores = append(s.Cores, core)
+	}
+	return s, nil
+}
+
+// quiesced reports whether every core finished and all persistence and
+// memory machinery drained.
+func (s *System) quiesced() bool {
+	for _, c := range s.Cores {
+		if !c.Finished() {
+			return false
+		}
+	}
+	return s.Mech.Drained() && s.Hier.Pending() == 0 && s.Router.Quiescent()
+}
+
+// Run simulates to quiescence and collects the result.
+func (s *System) Run() (*Result, error) {
+	endOfTrace, ok := s.Kernel.RunUntil(func() bool {
+		for _, c := range s.Cores {
+			if !c.Finished() {
+				return false
+			}
+		}
+		return true
+	}, s.Config.MaxCycles)
+	if !ok {
+		return nil, fmt.Errorf("pmemaccel: run exceeded %d cycles (deadlock?)", s.Config.MaxCycles)
+	}
+	// Drain the persistence machinery and memory queues; this tail is
+	// excluded from the performance window (cores are done) but keeps
+	// functional state complete.
+	if _, ok := s.Kernel.RunUntil(s.quiesced, s.Config.MaxCycles); !ok {
+		return nil, fmt.Errorf("pmemaccel: post-run drain exceeded %d cycles", s.Config.MaxCycles)
+	}
+	return s.collect(endOfTrace), nil
+}
+
+// RunToCycle advances the simulation to the given absolute cycle (the
+// crash-injection primitive). It reports whether the workload finished
+// earlier.
+func (s *System) RunToCycle(cycle uint64) bool {
+	done, _ := s.Kernel.RunUntil(s.quiesced, cycle)
+	return done < cycle
+}
+
+// RecoveredDurable runs the mechanism's recovery over the current durable
+// state — "crash now, reboot, recover".
+func (s *System) RecoveredDurable() *memimage.Image {
+	return s.Mech.Recover(s.Durable)
+}
+
+// ExpectedDurable builds the NVM image that recovery must produce given
+// the per-core durably-committed transaction counts at this instant:
+// the warmed-up base plus each core's committed prefix of write sets.
+func (s *System) ExpectedDurable() *memimage.Image {
+	img := memimage.New()
+	s.Durable.ForEach(func(addr, v uint64) {
+		// Base persistent words only: mechanism-specific regions
+		// (logs) are excluded from the expectation domain.
+		if memaddr.Classify(addr) == memaddr.SpaceNVM {
+			img.WriteWord(addr, v)
+		}
+	})
+	// Overwrite with base values (durable may have advanced past base).
+	for _, out := range s.Outputs {
+		out.BaseImage.ForEach(func(addr, v uint64) {
+			if memaddr.Classify(addr) == memaddr.SpaceNVM {
+				img.WriteWord(addr, v)
+			}
+		})
+	}
+	for c, out := range s.Outputs {
+		n := int(s.Mech.DurablyCommitted(c))
+		committed := out.Recorder.Committed()
+		if n > len(committed) {
+			n = len(committed)
+		}
+		for _, tx := range committed[:n] {
+			for _, w := range tx.Writes {
+				img.WriteWord(w.Addr, w.Value)
+			}
+		}
+	}
+	return img
+}
+
+// CheckDurable compares a recovered image against an expected one over
+// the NVM data space, returning up to max mismatches (both directions:
+// lost committed writes and leaked uncommitted ones).
+func CheckDurable(expected, recovered *memimage.Image, max int) []memimage.Diff {
+	var diffs []memimage.Diff
+	seen := map[uint64]bool{}
+	expected.ForEach(func(addr, v uint64) {
+		if memaddr.Classify(addr) != memaddr.SpaceNVM {
+			return
+		}
+		if got := recovered.ReadWord(addr); got != v {
+			diffs = append(diffs, memimage.Diff{Addr: addr, A: v, B: got})
+			seen[addr] = true
+		}
+	})
+	recovered.ForEach(func(addr, v uint64) {
+		if memaddr.Classify(addr) != memaddr.SpaceNVM || v == 0 || seen[addr] {
+			return
+		}
+		if expected.ReadWord(addr) != v {
+			diffs = append(diffs, memimage.Diff{Addr: addr, A: expected.ReadWord(addr), B: v})
+		}
+	})
+	if max > 0 && len(diffs) > max {
+		diffs = diffs[:max]
+	}
+	return diffs
+}
+
+// Run is the one-call entry point: build a system and run it to
+// completion.
+func Run(cfg Config) (*Result, error) {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

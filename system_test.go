@@ -1,0 +1,352 @@
+package pmemaccel
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pmemaccel/internal/memaddr"
+	"pmemaccel/internal/workload"
+)
+
+// tinyConfig keeps unit-test runs fast while still exercising the whole
+// machine.
+func tinyConfig(b workload.Benchmark, m Kind) Config {
+	cfg := DefaultConfig(b, m)
+	cfg.Cores = 2
+	cfg.Scale = 256
+	cfg.InitialSize = 500
+	cfg.Ops = 200
+	return cfg
+}
+
+func TestRunEveryBenchmarkEveryMechanism(t *testing.T) {
+	for _, b := range workload.Extended {
+		for _, m := range []Kind{Optimal, SP, TCache, Kiln} {
+			b, m := b, m
+			t.Run(b.String()+"/"+m.String(), func(t *testing.T) {
+				t.Parallel()
+				res, err := Run(tinyConfig(b, m))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Cycles == 0 {
+					t.Fatal("zero-cycle run")
+				}
+				if got := res.TotalTransactions(); got != 400 {
+					t.Fatalf("transactions = %d, want 400 (200 x 2 cores)", got)
+				}
+				if res.IPC() <= 0 {
+					t.Fatal("non-positive IPC")
+				}
+				// Every mechanism with a guarantee leaves NVM
+				// exactly at the committed state once drained.
+				if m != Optimal && res.DurableDiffCount != 0 {
+					t.Fatalf("%d durable diffs after full drain", res.DurableDiffCount)
+				}
+			})
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(tinyConfig(workload.RBTree, TCache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tinyConfig(workload.RBTree, TCache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.TotalInstructions() != b.TotalInstructions() ||
+		a.NVMWriteTraffic() != b.NVMWriteTraffic() || a.LLCMissRate != b.LLCMissRate {
+		t.Fatalf("identical configs diverged:\n%v\n%v", a, b)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	cfg := tinyConfig(workload.SPS, Optimal)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 99
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles == b.Cycles && a.NVMWriteTraffic() == b.NVMWriteTraffic() {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestBadScaleRejected(t *testing.T) {
+	cfg := tinyConfig(workload.SPS, Optimal)
+	cfg.Scale = 3
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("non-power-of-two scale accepted")
+	}
+}
+
+func TestShapeOrderingOnSPS(t *testing.T) {
+	// The paper's headline ordering must hold even at test scale:
+	// throughput Optimal >= TCache > Kiln-ish > SP, and NVM writes
+	// SP > TCache > Optimal.
+	results := map[Kind]*Result{}
+	for _, m := range []Kind{Optimal, SP, TCache, Kiln} {
+		cfg := tinyConfig(workload.SPS, m)
+		cfg.Ops = 400
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[m] = res
+	}
+	opt, sp, tc, kiln := results[Optimal], results[SP], results[TCache], results[Kiln]
+	if !(tc.Throughput() > sp.Throughput()) {
+		t.Errorf("TCache throughput %.3f not above SP %.3f", tc.Throughput(), sp.Throughput())
+	}
+	if !(kiln.Throughput() > sp.Throughput()) {
+		t.Errorf("Kiln throughput %.3f not above SP %.3f", kiln.Throughput(), sp.Throughput())
+	}
+	if !(tc.Throughput() >= kiln.Throughput()) {
+		t.Errorf("TCache throughput %.3f below Kiln %.3f", tc.Throughput(), kiln.Throughput())
+	}
+	if !(sp.NVMWriteTraffic() > tc.NVMWriteTraffic()) {
+		t.Errorf("SP writes %d not above TCache %d", sp.NVMWriteTraffic(), tc.NVMWriteTraffic())
+	}
+	if !(tc.NVMWriteTraffic() > opt.NVMWriteTraffic()) {
+		t.Errorf("TCache writes %d not above Optimal %d", tc.NVMWriteTraffic(), opt.NVMWriteTraffic())
+	}
+	if !(kiln.NVMWriteTraffic() > opt.NVMWriteTraffic()) {
+		t.Errorf("Kiln writes %d not above Optimal %d", kiln.NVMWriteTraffic(), opt.NVMWriteTraffic())
+	}
+}
+
+func TestTCacheStatsPresentOnlyForTCache(t *testing.T) {
+	tc, err := Run(tinyConfig(workload.Hashtable, TCache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tc.TC) != 2 {
+		t.Fatalf("TC stats for %d cores, want 2", len(tc.TC))
+	}
+	if tc.TC[0].Writes == 0 || tc.TC[0].Commits == 0 {
+		t.Fatalf("TC stats empty: %+v", tc.TC[0])
+	}
+	opt, err := Run(tinyConfig(workload.Hashtable, Optimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.TC != nil {
+		t.Fatal("Optimal run carries TC stats")
+	}
+}
+
+func TestResultStringMentionsKeyMetrics(t *testing.T) {
+	res, err := Run(tinyConfig(workload.SPS, TCache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	for _, want := range []string{"sps", "tcache", "IPC", "tx/kcycle", "NVM writes"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Result.String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestKilnMissRateExceedsOptimalOnSPS(t *testing.T) {
+	// Figure 8's direction: Kiln's pinning and versioning raise the LLC
+	// miss rate relative to Optimal/TCache. The effect needs real
+	// capacity pressure, so this test runs at the default scale.
+	cfg := DefaultConfig(workload.SPS, Optimal)
+	opt, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mechanism = Kiln
+	kiln, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kiln.LLCMissRate <= opt.LLCMissRate {
+		t.Errorf("Kiln LLC miss %.4f not above Optimal %.4f", kiln.LLCMissRate, opt.LLCMissRate)
+	}
+}
+
+func TestExpectedDurableMatchesFinalImages(t *testing.T) {
+	s, err := NewSystem(tinyConfig(workload.BTree, TCache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	expected := s.ExpectedDurable()
+	// Every persistent word of every core's FinalImage must appear in
+	// the expectation.
+	for _, out := range s.Outputs {
+		bad := 0
+		out.FinalImage.ForEach(func(addr, v uint64) {
+			if addr >= out.Params.PersistentRegion.Base &&
+				addr < out.Params.PersistentRegion.End() &&
+				expected.ReadWord(addr) != v {
+				bad++
+			}
+		})
+		if bad != 0 {
+			t.Fatalf("expected image diverges from FinalImage on %d words", bad)
+		}
+	}
+}
+
+func TestMechanismsShareTheSameProgram(t *testing.T) {
+	// Optimal, TCache and Kiln execute the identical instruction stream
+	// (the mechanisms add hardware, not instructions); SP executes
+	// strictly more (logging code).
+	insts := map[Kind]uint64{}
+	for _, m := range []Kind{Optimal, TCache, Kiln, SP} {
+		res, err := Run(tinyConfig(workload.Graph, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts[m] = res.TotalInstructions()
+	}
+	if insts[Optimal] != insts[TCache] || insts[Optimal] != insts[Kiln] {
+		t.Errorf("instruction counts differ: optimal=%d tcache=%d kiln=%d",
+			insts[Optimal], insts[TCache], insts[Kiln])
+	}
+	if insts[SP] <= insts[Optimal] {
+		t.Errorf("SP executed %d instructions, want more than optimal's %d (logging code)",
+			insts[SP], insts[Optimal])
+	}
+}
+
+func TestGuaranteedMechanismsAgreeOnFinalState(t *testing.T) {
+	// All three guaranteed mechanisms must converge to the same durable
+	// NVM data state after a full run of the same workload.
+	var images []map[uint64]uint64
+	for _, m := range []Kind{SP, TCache, Kiln} {
+		s, err := NewSystem(tinyConfig(workload.SPS, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		img := map[uint64]uint64{}
+		s.RecoveredDurable().ForEach(func(a, v uint64) {
+			// Compare only the NVM data space: log layouts differ by
+			// mechanism.
+			if memaddr.Classify(a) == memaddr.SpaceNVM && v != 0 {
+				img[a] = v
+			}
+		})
+		images = append(images, img)
+	}
+	for i := 1; i < len(images); i++ {
+		if len(images[i]) != len(images[0]) {
+			t.Fatalf("mechanism %d durable footprint %d != %d", i, len(images[i]), len(images[0]))
+		}
+		for a, v := range images[0] {
+			if images[i][a] != v {
+				t.Fatalf("mechanisms disagree at %#x: %d vs %d", a, v, images[i][a])
+			}
+		}
+	}
+}
+
+func TestHeterogeneousMix(t *testing.T) {
+	cfg := tinyConfig(workload.RBTree, TCache)
+	cfg.Mix = []workload.Benchmark{workload.RBTree, workload.SPS}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTransactions() != 400 {
+		t.Fatalf("mix ran %d transactions, want 400", res.TotalTransactions())
+	}
+	if res.DurableDiffCount != 0 {
+		t.Fatalf("mix left %d durable diffs", res.DurableDiffCount)
+	}
+	if s.Outputs[0].Benchmark != workload.RBTree || s.Outputs[1].Benchmark != workload.SPS {
+		t.Fatal("mix did not assign per-core benchmarks")
+	}
+}
+
+func TestMixLengthValidated(t *testing.T) {
+	cfg := tinyConfig(workload.RBTree, TCache)
+	cfg.Mix = []workload.Benchmark{workload.SPS} // 1 entry for 2 cores
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("mismatched Mix length accepted")
+	}
+}
+
+func TestWearAndPercentilesReported(t *testing.T) {
+	res, err := Run(tinyConfig(workload.SPS, TCache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NVMLinesTouched == 0 || res.NVMWearMax == 0 {
+		t.Fatalf("wear not collected: %+v lines, max %d", res.NVMLinesTouched, res.NVMWearMax)
+	}
+	if res.NVMWearHotness < 1 {
+		t.Fatalf("hotness %v < 1", res.NVMWearHotness)
+	}
+	if res.PloadP99 < res.PloadP50 {
+		t.Fatalf("P99 %d below P50 %d", res.PloadP99, res.PloadP50)
+	}
+	if res.PloadP99 == 0 {
+		t.Fatal("P99 is zero")
+	}
+}
+
+func TestResultJSONExport(t *testing.T) {
+	res, err := Run(tinyConfig(workload.SPS, TCache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Export
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Benchmark != "sps" || e.Mechanism != "tcache" {
+		t.Fatalf("export labels = %s/%s", e.Benchmark, e.Mechanism)
+	}
+	if e.Cycles != res.Cycles || e.Transactions != res.TotalTransactions() {
+		t.Fatal("export disagrees with result")
+	}
+	if e.IPC <= 0 || e.NVMWrites == 0 {
+		t.Fatalf("export metrics empty: %+v", e)
+	}
+}
+
+func TestLargeMachineSmoke(t *testing.T) {
+	// A quarter-scale machine (16 MB LLC) exercising the auto-sizing and
+	// the full pipeline at realistic capacities. Skipped with -short.
+	if testing.Short() {
+		t.Skip("large-machine smoke skipped in -short mode")
+	}
+	cfg := DefaultConfig(workload.Hashtable, TCache)
+	cfg.Scale = 4
+	cfg.Ops = 3000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DurableDiffCount != 0 {
+		t.Fatalf("%d durable diffs at quarter scale", res.DurableDiffCount)
+	}
+	if res.TotalTransactions() != 12000 {
+		t.Fatalf("transactions = %d, want 12000", res.TotalTransactions())
+	}
+}
