@@ -188,6 +188,28 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
 }
 
+// BenchmarkSimulatorSpeedObs is BenchmarkSimulatorSpeed with the full
+// observability layer on (event trace + 1-kcycle sampling). Comparing
+// the two sim_cycles/s metrics bounds the enabled-probe cost; the
+// disabled cost is the nil-check branches, held to zero allocations by
+// the obs and txcache regression tests and to <2% speed by comparing
+// BenchmarkSimulatorSpeed against the pre-observability baseline
+// (see DESIGN.md, "Observability").
+func BenchmarkSimulatorSpeedObs(b *testing.B) {
+	var simCycles uint64
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(workload.RBTree, TCache)
+		cfg.Obs.Enabled = true
+		cfg.Obs.SampleEvery = 1000
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simCycles += res.Cycles
+	}
+	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+}
+
 func byteLabel(n int) string {
 	if n >= 1024 {
 		return fmt.Sprintf("%dKB", n/1024)

@@ -4,13 +4,21 @@
 // Usage:
 //
 //	pmemsim -bench rbtree -mech tcache [-ops 12000] [-scale 64] \
-//	        [-cores 4] [-seed 1] [-tc 4096] [-paper] [-v]
+//	        [-cores 4] [-seed 1] [-tc 4096] [-paper] [-v] \
+//	        [-trace-out trace.json] [-metrics-out metrics.csv] \
+//	        [-sample-every 1000]
+//
+// -trace-out writes a Chrome trace_event JSON (open in
+// chrome://tracing or https://ui.perfetto.dev); -metrics-out writes a
+// time-series CSV sampled every -sample-every cycles. Either flag turns
+// the observability layer on.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -33,6 +41,10 @@ func main() {
 		paper     = flag.Bool("paper", false, "use the full Table 2 machine (Scale 1; slow)")
 		verbose   = flag.Bool("v", false, "print per-core and subsystem detail")
 		asJSON    = flag.Bool("json", false, "emit the result as JSON")
+
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON to this file (enables observability)")
+		metricsOut  = flag.String("metrics-out", "", "write a sampled time-series CSV to this file (enables observability)")
+		sampleEvery = flag.Uint64("sample-every", 1000, "sampling period in cycles for -metrics-out")
 	)
 	flag.Parse()
 
@@ -64,6 +76,12 @@ func main() {
 		cfg.TCBytes = *tcBytes
 	}
 	cfg.Seed = *seed
+	if *traceOut != "" || *metricsOut != "" {
+		cfg.Obs.Enabled = true
+		if *metricsOut != "" {
+			cfg.Obs.SampleEvery = *sampleEvery
+		}
+	}
 
 	start := time.Now()
 	sys, err := pmemaccel.NewSystem(cfg)
@@ -73,6 +91,20 @@ func main() {
 	res, err := sys.Run()
 	if err != nil {
 		fatal(err)
+	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, sys.Probe.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pmemsim: wrote %s (%d events, %d dropped)\n",
+			*traceOut, sys.Probe.Recorded(), sys.Probe.Dropped())
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, sys.Probe.WriteMetricsCSV); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pmemsim: wrote %s (%d samples)\n",
+			*metricsOut, sys.Probe.SampleCount())
 	}
 	if *asJSON {
 		data, err := json.MarshalIndent(res, "", "  ")
@@ -102,7 +134,21 @@ func main() {
 		fmt.Printf("tc-full stall fraction: %.4f%%\n",
 			res.StallFraction(func(s cpu.Stats) uint64 { return s.StallStoreRetry })/
 				float64(len(res.PerCore))*100)
+		fmt.Printf("\n%s", res.AttributionTable())
 	}
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

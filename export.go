@@ -40,6 +40,10 @@ type Export struct {
 
 	TCFullStallPct   float64 `json:"tc_full_stall_pct"`
 	DurableDiffCount int     `json:"durable_diff_count"`
+
+	// Attribution is the all-core cycle breakdown as percentages of the
+	// performance window, keyed by cpu.BreakdownCategories.
+	Attribution map[string]float64 `json:"cycle_attribution_pct"`
 }
 
 // Export builds the JSON projection.
@@ -74,6 +78,18 @@ func (r *Result) Export() Export {
 	if len(r.PerCore) > 0 {
 		e.TCFullStallPct = r.StallFraction(func(s cpu.Stats) uint64 { return s.StallStoreRetry }) /
 			float64(len(r.PerCore)) * 100
+	}
+	if n := uint64(len(r.PerCore)) * r.Cycles; n > 0 {
+		e.Attribution = make(map[string]float64, len(cpu.BreakdownCategories))
+		var agg [8]uint64
+		for _, st := range r.PerCore {
+			for i, v := range st.Breakdown.Values() {
+				agg[i] += v
+			}
+		}
+		for i, name := range cpu.BreakdownCategories {
+			e.Attribution[name] = float64(agg[i]) / float64(n) * 100
+		}
 	}
 	return e
 }

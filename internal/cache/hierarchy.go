@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pmemaccel/internal/memaddr"
+	"pmemaccel/internal/obs"
 	"pmemaccel/internal/sim"
 )
 
@@ -181,6 +182,9 @@ type Hierarchy struct {
 	txWB     map[uint64]int
 	txWBWait map[uint64]func()
 
+	// probe is the observability recorder (nil when disabled).
+	probe *obs.Probe
+
 	stats Stats
 }
 
@@ -218,9 +222,30 @@ func (h *Hierarchy) Stats() Stats { return h.stats }
 // Config returns the (defaulted) configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
+// SetProbe attaches the observability recorder (nil disables probing).
+func (h *Hierarchy) SetProbe(p *obs.Probe) { h.probe = p }
+
 // Pending reports outstanding LLC-queue entries plus in-flight memory
 // fills, for quiescence checks.
 func (h *Hierarchy) Pending() int { return len(h.queue) + len(h.inflight) }
+
+// QueueDepths reports the LLC request queue split by kind: demand reads
+// (misses beyond the private levels) and writeback installs. Sampled by
+// the observability layer.
+func (h *Hierarchy) QueueDepths() (reads, writebacks int) {
+	for i := range h.queue {
+		if h.queue[i].kind == llcRead {
+			reads++
+		} else {
+			writebacks++
+		}
+	}
+	return reads, writebacks
+}
+
+// InflightFills reports lines with an outstanding fill (the MSHR
+// population). Sampled by the observability layer.
+func (h *Hierarchy) InflightFills() int { return len(h.inflight) }
 
 // Access performs one 64-bit load or store for core. done fires when the
 // access completes (data returned for loads; line owned and written in L1
@@ -393,8 +418,13 @@ func (h *Hierarchy) serveLLCRead(req llcReq) {
 	}
 	if req.persistent && h.hooks.SidePathProbe != nil {
 		h.stats.SidePathProbes++
+		hit := uint64(0)
 		if h.hooks.SidePathProbe(req.lineAddr) {
 			h.stats.SidePathHits++
+			hit = 1
+		}
+		if h.probe != nil { // guard: this site is per-LLC-miss hot
+			h.probe.Instant(obs.KSideProbe, -1, req.lineAddr, h.k.Now(), hit)
 		}
 	}
 	h.k.Schedule(h.cfg.LLCLatency, func() {
@@ -512,6 +542,7 @@ func (h *Hierarchy) insertLLC(line Line) *Line {
 	if evicted.Valid && evicted.Dirty {
 		if h.hooks.DropLLCEviction != nil && h.hooks.DropLLCEviction(&evicted) {
 			h.stats.DroppedEvictions++
+			h.probe.Instant(obs.KLLCPDrop, -1, evicted.Addr, h.k.Now(), 0)
 		} else {
 			h.writebackToMemory(evicted)
 		}
@@ -544,6 +575,7 @@ func (h *Hierarchy) InstallPlaceholder(lineAddr, protect uint64) {
 	if evicted.Valid && evicted.Dirty {
 		if h.hooks.DropLLCEviction != nil && h.hooks.DropLLCEviction(&evicted) {
 			h.stats.DroppedEvictions++
+			h.probe.Instant(obs.KLLCPDrop, -1, evicted.Addr, h.k.Now(), 0)
 		} else {
 			h.writebackToMemory(evicted)
 		}
@@ -626,7 +658,10 @@ func (h *Hierarchy) FlushTx(core int, txID uint64, done func()) {
 	}
 	h.stats.FlushedLines += uint64(len(lines))
 	h.commitLocks++
+	flushStart := h.k.Now()
+	nLines := uint64(len(lines))
 	finish := func() {
+		h.probe.Span(obs.KTxFlush, core, txID, flushStart, h.k.Now(), nLines)
 		h.commitLocks--
 		h.llc.ForEach(func(l *Line) {
 			if l.TxID == txID {

@@ -11,6 +11,7 @@ import (
 
 	"pmemaccel/internal/cache"
 	"pmemaccel/internal/memaddr"
+	"pmemaccel/internal/obs"
 	"pmemaccel/internal/sim"
 	"pmemaccel/internal/trace"
 )
@@ -77,6 +78,59 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
+// CycleBreakdown attributes every cycle of a core's run to exactly one
+// category: each Tick of an unfinished core increments one bucket, and
+// Idle is filled at collection time to the end of the measurement
+// window, so the buckets sum to the window (±1 cycle of rounding at the
+// finish boundary). This decomposes an end-of-run figure like "98.5% of
+// Optimal" into which stall category costs the missing fraction.
+type CycleBreakdown struct {
+	// Compute: the core retired instructions (or exhausted its issue
+	// width) without hitting a stall.
+	Compute uint64
+	// LoadStall: a load blocked on dependence or the MLP window.
+	LoadStall uint64
+	// StoreBufStall: the store buffer was full.
+	StoreBufStall uint64
+	// TCFullStall: a persistent store was rejected by the mechanism
+	// (transaction cache full) and retried.
+	TCFullStall uint64
+	// FenceStall: an sfence waited on outstanding stores/flushes.
+	FenceStall uint64
+	// CommitWait: TX_END waited on the persistence mechanism (or on its
+	// own transaction's outstanding accesses).
+	CommitWait uint64
+	// DrainWait: the trace is exhausted but outstanding memory
+	// operations are still completing.
+	DrainWait uint64
+	// Idle: cycles after this core finished, up to the end of the
+	// measurement window (filled at collection time).
+	Idle uint64
+}
+
+// Busy sums the non-idle buckets: the cycles the core was attributed
+// while running.
+func (b CycleBreakdown) Busy() uint64 {
+	return b.Compute + b.LoadStall + b.StoreBufStall + b.TCFullStall +
+		b.FenceStall + b.CommitWait + b.DrainWait
+}
+
+// Total sums every bucket including Idle.
+func (b CycleBreakdown) Total() uint64 { return b.Busy() + b.Idle }
+
+// BreakdownCategories names the buckets in presentation order, aligned
+// with CycleBreakdown.Values.
+var BreakdownCategories = []string{
+	"compute", "load-stall", "storebuf-stall", "tc-full-stall",
+	"fence-stall", "commit-wait", "drain-wait", "idle",
+}
+
+// Values returns the buckets in BreakdownCategories order.
+func (b CycleBreakdown) Values() []uint64 {
+	return []uint64{b.Compute, b.LoadStall, b.StoreBufStall, b.TCFullStall,
+		b.FenceStall, b.CommitWait, b.DrainWait, b.Idle}
+}
+
 // Stats accumulates one core's activity.
 type Stats struct {
 	Instructions uint64
@@ -98,6 +152,11 @@ type Stats struct {
 	StallStoreRetry uint64
 	StallFence      uint64
 	StallCommit     uint64
+
+	// Breakdown attributes each active cycle to exactly one category
+	// (the stall counters above may coexist with partial issue; the
+	// breakdown is the exhaustive per-cycle accounting).
+	Breakdown CycleBreakdown
 
 	// DoneAt is the cycle the core fully quiesced (0 while running).
 	DoneAt uint64
@@ -128,6 +187,12 @@ type Core struct {
 	fenceWait  bool
 	commitWait bool
 
+	// probe is the observability recorder (nil when disabled — the
+	// zero-overhead path). txStart remembers the cycle the current
+	// transaction's TX_BEGIN retired, for the lifecycle span.
+	probe   *obs.Probe
+	txStart uint64
+
 	stats Stats
 }
 
@@ -146,6 +211,9 @@ func New(k *sim.Kernel, id int, cfg Config, hier *cache.Hierarchy, pers Persiste
 
 // ID returns the core index.
 func (c *Core) ID() int { return c.id }
+
+// SetProbe attaches the observability recorder (nil disables probing).
+func (c *Core) SetProbe(p *obs.Probe) { c.probe = p }
 
 // Stats returns a copy of the counters.
 func (c *Core) Stats() Stats { return c.stats }
@@ -190,7 +258,9 @@ func (c *Core) finishCheck() {
 }
 
 // Tick implements sim.Tickable: retire up to IssueWidth instructions,
-// honouring stall conditions.
+// honouring stall conditions. Each tick of an unfinished core attributes
+// exactly one CycleBreakdown bucket — the condition that terminated the
+// cycle (partial issue followed by a stall is attributed to the stall).
 func (c *Core) Tick(now uint64) {
 	defer func() {
 		c.peekExhaustion()
@@ -199,8 +269,10 @@ func (c *Core) Tick(now uint64) {
 	if c.Finished() {
 		return
 	}
+	bd := &c.stats.Breakdown
 	if c.commitWait {
 		c.stats.StallCommit++
+		bd.CommitWait++
 		return
 	}
 	if c.fenceWait {
@@ -208,12 +280,20 @@ func (c *Core) Tick(now uint64) {
 			c.fenceWait = false
 		} else {
 			c.stats.StallFence++
+			bd.FenceStall++
 			return
 		}
 	}
 	budget := c.cfg.IssueWidth
 	for budget > 0 {
 		if !c.fetch() {
+			if budget == c.cfg.IssueWidth {
+				// Nothing retired this cycle: the core only waits for
+				// its outstanding accesses to drain.
+				bd.DrainWait++
+			} else {
+				bd.Compute++
+			}
 			return
 		}
 		switch c.cur.Kind {
@@ -234,10 +314,12 @@ func (c *Core) Tick(now uint64) {
 			// load; independent loads overlap up to the MLP window.
 			if c.cur.Dep && c.outLoads > 0 {
 				c.stats.StallLoad++
+				bd.LoadStall++
 				return
 			}
 			if !c.cur.Dep && c.outLoads >= c.cfg.MLP {
 				c.stats.StallLoad++
+				bd.LoadStall++
 				return
 			}
 			c.issueLoad(c.cur.Addr, now)
@@ -248,6 +330,7 @@ func (c *Core) Tick(now uint64) {
 		case trace.KindStore:
 			if c.outStores >= c.cfg.StoreBuffer {
 				c.stats.StallStoreBuf++
+				bd.StoreBufStall++
 				return
 			}
 			persistent := memaddr.IsPersistent(c.cur.Addr)
@@ -256,6 +339,7 @@ func (c *Core) Tick(now uint64) {
 				act = c.pers.Store(c.id, c.mode, c.cur.Addr, c.cur.Value)
 				if act.Retry {
 					c.stats.StallStoreRetry++
+					bd.TCFullStall++
 					return
 				}
 			}
@@ -272,6 +356,7 @@ func (c *Core) Tick(now uint64) {
 
 		case trace.KindTxBegin:
 			c.mode = c.cur.TxID
+			c.txStart = now
 			c.pers.TxBegin(c.id, c.cur.TxID)
 			c.stats.Instructions++
 			budget--
@@ -282,21 +367,28 @@ func (c *Core) Tick(now uint64) {
 			// stores must have completed first.
 			if c.outStores > 0 || c.outLoads > 0 {
 				c.stats.StallCommit++
+				bd.CommitWait++
 				return
 			}
 			id := c.cur.TxID
 			c.stats.Instructions++
 			c.retire()
 			c.mode = 0
+			txStart := c.txStart
 			if c.pers.TxEnd(c.id, id, func() {
 				c.commitWait = false
 				c.stats.Transactions++
+				end := c.k.Now()
+				c.probe.Span(obs.KCommitWait, c.id, id, now, end, 0)
+				c.probe.Span(obs.KTx, c.id, id, txStart, end, 0)
 				c.finishCheck()
 			}) {
 				c.commitWait = true
+				bd.CommitWait++
 				return
 			}
 			c.stats.Transactions++
+			c.probe.Span(obs.KTx, c.id, id, txStart, now, 0)
 			budget--
 
 		case trace.KindCLWB, trace.KindCLFlush:
@@ -318,11 +410,13 @@ func (c *Core) Tick(now uint64) {
 			c.retire()
 			if c.outStores > 0 || c.outFlushes > 0 {
 				c.fenceWait = true
+				bd.FenceStall++
 				return
 			}
 			budget--
 		}
 	}
+	bd.Compute++
 }
 
 // peekExhaustion discovers end-of-stream eagerly so Finished (and DoneAt)
@@ -354,15 +448,25 @@ func (c *Core) issueLoad(addr uint64, now uint64) {
 }
 
 // PloadPercentile returns an upper bound on the given percentile of the
-// persistent-load latency distribution (p in (0,1]), using the log2
-// histogram buckets.
+// persistent-load latency distribution, using the log2 histogram
+// buckets. The histogram population is authoritative: an empty (or
+// all-zero) histogram yields 0 regardless of the PersistentLoads
+// counter, p <= 0 (or NaN) yields 0, and p >= 1 is clamped to the
+// maximum — so the function never walks off the end of the buckets.
 func PloadPercentile(s Stats, p float64) uint64 {
-	if s.PersistentLoads == 0 {
+	var total uint64
+	for _, n := range s.PloadHist {
+		total += n
+	}
+	if total == 0 || math.IsNaN(p) || p <= 0 {
 		return 0
 	}
-	target := uint64(math.Ceil(p * float64(s.PersistentLoads)))
-	if target == 0 {
+	target := uint64(math.Ceil(p * float64(total)))
+	if target < 1 {
 		target = 1
+	}
+	if target > total {
+		target = total
 	}
 	var cum uint64
 	for i, n := range s.PloadHist {
@@ -374,6 +478,7 @@ func PloadPercentile(s Stats, p float64) uint64 {
 			return (uint64(1) << uint(i)) - 1
 		}
 	}
+	// Unreachable: target <= total guarantees the loop returns.
 	return ^uint64(0)
 }
 

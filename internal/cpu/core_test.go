@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"math"
 	"testing"
 
 	"pmemaccel/internal/cache"
@@ -355,6 +356,48 @@ func TestPloadHistogramAndPercentile(t *testing.T) {
 func TestPloadPercentileEmpty(t *testing.T) {
 	if PloadPercentile(Stats{}, 0.99) != 0 {
 		t.Fatal("empty stats percentile not 0")
+	}
+	// The histogram is authoritative: a nonzero PersistentLoads counter
+	// with an empty histogram (e.g. stats merged from partial sources)
+	// must not panic or divide by zero.
+	if got := PloadPercentile(Stats{PersistentLoads: 7}, 0.5); got != 0 {
+		t.Fatalf("empty histogram with PersistentLoads=7: got %d, want 0", got)
+	}
+}
+
+func TestPloadPercentileSingleBucket(t *testing.T) {
+	var s Stats
+	s.PloadHist[3] = 10 // every load in [4,7] cycles
+	want := uint64(1<<3) - 1
+	for _, p := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if got := PloadPercentile(s, p); got != want {
+			t.Errorf("P%.0f = %d, want %d (single bucket)", p*100, got, want)
+		}
+	}
+	// Bucket 0 reports latency 0 (sub-cycle bound).
+	var z Stats
+	z.PloadHist[0] = 5
+	if got := PloadPercentile(z, 0.99); got != 0 {
+		t.Errorf("bucket-0 percentile = %d, want 0", got)
+	}
+}
+
+func TestPloadPercentileDegenerateP(t *testing.T) {
+	var s Stats
+	s.PloadHist[2] = 4
+	if got := PloadPercentile(s, 0); got != 0 {
+		t.Errorf("p=0: got %d, want 0", got)
+	}
+	if got := PloadPercentile(s, -0.5); got != 0 {
+		t.Errorf("p<0: got %d, want 0", got)
+	}
+	if got := PloadPercentile(s, math.NaN()); got != 0 {
+		t.Errorf("p=NaN: got %d, want 0", got)
+	}
+	// p > 1 clamps to the last occupied bucket rather than overrunning.
+	want := uint64(1<<2) - 1
+	if got := PloadPercentile(s, 2.5); got != want {
+		t.Errorf("p>1: got %d, want %d", got, want)
 	}
 }
 

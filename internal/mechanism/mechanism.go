@@ -23,6 +23,7 @@ import (
 	"pmemaccel/internal/memaddr"
 	"pmemaccel/internal/memctrl"
 	"pmemaccel/internal/memimage"
+	"pmemaccel/internal/obs"
 	"pmemaccel/internal/sim"
 	"pmemaccel/internal/trace"
 	"pmemaccel/internal/txcache"
@@ -99,6 +100,11 @@ type Env struct {
 	Durable *memimage.Image
 	// TC configures the per-core transaction caches (TCache only).
 	TC txcache.Config
+	// Probe is the observability recorder, nil when disabled.
+	// Mechanisms hand it to the components they build (the TCache's
+	// per-core transaction caches); their own behaviour is traced
+	// through the core (commit-wait spans) and hierarchy (flush spans).
+	Probe *obs.Probe
 }
 
 // Mechanism is the strategy interface.

@@ -59,7 +59,9 @@ func newTCache(env *Env) Mechanism {
 	}
 	durableApply := func(addr, value uint64) { env.Durable.WriteWord(addr, value) }
 	for c := 0; c < env.Cores; c++ {
-		m.tcs = append(m.tcs, txcache.New(env.K, env.TC, env.Router, durableApply))
+		tc := txcache.New(env.K, env.TC, env.Router, durableApply)
+		tc.SetProbe(env.Probe, c)
+		m.tcs = append(m.tcs, tc)
 	}
 	return m
 }

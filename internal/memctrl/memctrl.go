@@ -12,6 +12,7 @@
 package memctrl
 
 import (
+	"pmemaccel/internal/obs"
 	"pmemaccel/internal/sim"
 )
 
@@ -100,6 +101,14 @@ type Controller struct {
 	inFlight int // issued commands whose completion has not fired
 	draining bool
 
+	// probe is the observability recorder (nil when disabled); chanID
+	// labels this channel's track. drainStart/drainWrites frame the
+	// current write-drain window.
+	probe       *obs.Probe
+	chanID      int
+	drainStart  uint64
+	drainWrites uint64
+
 	stats Stats
 	wear  *Wear
 }
@@ -110,6 +119,13 @@ func New(k *sim.Kernel, cfg Config) *Controller {
 	c := &Controller{k: k, cfg: cfg, banks: make([]bank, cfg.Banks), wear: newWear()}
 	k.Register(c)
 	return c
+}
+
+// SetProbe attaches the observability recorder (nil disables probing);
+// chanID labels the channel's trace track (0 NVM, 1 DRAM).
+func (c *Controller) SetProbe(p *obs.Probe, chanID int) {
+	c.probe = p
+	c.chanID = chanID
 }
 
 // Config returns the (defaulted) configuration.
@@ -229,9 +245,13 @@ func (c *Controller) Tick(now uint64) {
 	if !c.draining && len(c.writes) >= c.cfg.DrainHigh {
 		c.draining = true
 		c.stats.DrainEntries++
+		c.drainStart = now
+		c.drainWrites = c.stats.Writes
 	}
 	if c.draining && len(c.writes) <= c.cfg.DrainLow {
 		c.draining = false
+		c.probe.Span(obs.KWPQDrain, c.chanID, 0, c.drainStart, now,
+			c.stats.Writes-c.drainWrites)
 	}
 	issued := false
 	for n := 0; n < c.cfg.CmdPerCycle; n++ {

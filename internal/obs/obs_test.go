@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pmemaccel/internal/sim"
+)
+
+// TestNilProbeIsNoOp: every method on a nil probe must be safe and
+// answer the zero value.
+func TestNilProbeIsNoOp(t *testing.T) {
+	var p *Probe
+	p.Span(KTx, 0, 1, 10, 20, 0)
+	p.Instant(KTCFull, 0, 1, 10, 0)
+	p.AddSource("x", func() int { return 1 })
+	p.StartSampling(sim.NewKernel(), 10)
+	if p.Enabled() {
+		t.Fatal("nil probe reports enabled")
+	}
+	if got := p.Events(); got != nil {
+		t.Fatalf("nil probe Events() = %v, want nil", got)
+	}
+	if p.Recorded() != 0 || p.Dropped() != 0 || p.SampleCount() != 0 {
+		t.Fatal("nil probe reports activity")
+	}
+	var buf bytes.Buffer
+	if err := p.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("nil-probe trace is not valid JSON: %v", err)
+	}
+	if err := p.WriteMetricsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNilProbeAllocations: the disabled (nil-probe) hot path must not
+// allocate — this is the zero-overhead-when-disabled guarantee.
+func TestNilProbeAllocations(t *testing.T) {
+	var p *Probe
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Span(KTx, 2, 7, 100, 200, 0)
+		p.Instant(KTCFull, 2, 7, 100, 0xabc)
+		p.Instant(KLLCPDrop, -1, 0xdead, 101, 0)
+		p.Span(KTCDrain, 1, 0, 50, 90, 12)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil probe allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// TestRingOverwrite: the ring keeps the newest events and counts drops.
+func TestRingOverwrite(t *testing.T) {
+	p := NewProbe(4)
+	for i := uint64(0); i < 10; i++ {
+		p.Instant(KTCCommit, 0, i, i, 0)
+	}
+	if p.Recorded() != 10 {
+		t.Fatalf("Recorded = %d, want 10", p.Recorded())
+	}
+	if p.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", p.Dropped())
+	}
+	ev := p.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(6 + i); e.ID != want {
+			t.Fatalf("event %d has ID %d, want %d (oldest must be overwritten)", i, e.ID, want)
+		}
+	}
+}
+
+// TestEventsSorted: export order is by start cycle even when spans are
+// recorded at end time out of order.
+func TestEventsSorted(t *testing.T) {
+	p := NewProbe(16)
+	p.Span(KTx, 0, 2, 50, 120, 0)
+	p.Span(KTx, 1, 1, 10, 200, 0)
+	p.Instant(KTCFull, 0, 3, 30, 0)
+	ev := p.Events()
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Start < ev[i-1].Start {
+			t.Fatalf("events unsorted: %v", ev)
+		}
+	}
+}
+
+// TestChromeTraceShape: the export parses as JSON, carries span and
+// instant phases, and names its tracks.
+func TestChromeTraceShape(t *testing.T) {
+	p := NewProbe(64)
+	p.Span(KTx, 0, 42, 100, 250, 0)
+	p.Span(KTCDrain, 0, 0, 260, 300, 5)
+	p.Instant(KLLCPDrop, -1, 0x1000, 270, 0)
+	p.Instant(KSideProbe, -1, 0x2000, 280, 1)
+	p.Span(KWPQDrain, 0, 0, 300, 400, 51)
+
+	var buf bytes.Buffer
+	if err := p.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	phases := map[string]string{}
+	for _, e := range tr.TraceEvents {
+		if e.Ph != "M" {
+			phases[e.Name] = e.Ph
+		}
+	}
+	if phases["tx"] != "X" {
+		t.Fatalf("tx span exported as %q, want X", phases["tx"])
+	}
+	if phases["tc-drain"] != "X" {
+		t.Fatalf("tc-drain exported as %q, want X", phases["tc-drain"])
+	}
+	if phases["llc-pdrop"] != "i" {
+		t.Fatalf("llc-pdrop exported as %q, want i", phases["llc-pdrop"])
+	}
+	if !strings.Contains(buf.String(), "process_name") {
+		t.Fatal("trace carries no process_name metadata")
+	}
+}
+
+// TestSampler: kernel-driven sampling fires at the configured period and
+// exports a CSV with a column per source.
+func TestSampler(t *testing.T) {
+	k := sim.NewKernel()
+	p := NewProbe(8)
+	depth := 0
+	p.AddSource("queue_depth", func() int { return depth })
+	p.AddSource("constant", func() int { return 7 })
+	p.StartSampling(k, 10)
+	for i := 0; i < 35; i++ {
+		depth = i
+		k.Step()
+	}
+	if p.SampleCount() != 3 {
+		t.Fatalf("SampleCount = %d after 35 cycles at every=10, want 3", p.SampleCount())
+	}
+	var buf bytes.Buffer
+	if err := p.WriteMetricsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "cycle,queue_depth,constant" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want 4 (header + 3 samples)", len(lines))
+	}
+	if !strings.HasSuffix(lines[1], ",7") {
+		t.Fatalf("constant column wrong: %q", lines[1])
+	}
+}
+
+// BenchmarkNilProbe measures the disabled-path cost of one probe call —
+// the branch every instrumented component pays per event site.
+func BenchmarkNilProbe(b *testing.B) {
+	var p *Probe
+	for i := 0; i < b.N; i++ {
+		p.Instant(KTCCommit, 0, uint64(i), uint64(i), 0)
+	}
+}
+
+// BenchmarkEnabledProbe measures the enabled-path cost of recording into
+// the ring.
+func BenchmarkEnabledProbe(b *testing.B) {
+	p := NewProbe(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Instant(KTCCommit, 0, uint64(i), uint64(i), 0)
+	}
+}

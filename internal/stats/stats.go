@@ -155,6 +155,44 @@ func (s *Series) CSV() string {
 	return b.String()
 }
 
+// Crosstab renders a plain rows-by-columns table of values (no geomean
+// row — for non-ratio data like cycle-attribution percentages). vals is
+// indexed [row][col] and must be rectangular; missing cells render as
+// 0.
+func Crosstab(name string, rows, cols []string, vals [][]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", name)
+	w := 0
+	for _, r := range rows {
+		if len(r) > w {
+			w = len(r)
+		}
+	}
+	cw := 10
+	for _, c := range cols {
+		if len(c)+2 > cw {
+			cw = len(c) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", w+2, "")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%*s", cw, c)
+	}
+	b.WriteByte('\n')
+	for i, r := range rows {
+		fmt.Fprintf(&b, "%-*s", w+2, r)
+		for j := range cols {
+			v := 0.0
+			if i < len(vals) && j < len(vals[i]) {
+				v = vals[i][j]
+			}
+			fmt.Fprintf(&b, "%*.3f", cw, v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // SortedKeys returns map keys in sorted order (deterministic output
 // helper).
 func SortedKeys[M ~map[string]V, V any](m M) []string {

@@ -115,3 +115,29 @@ func TestMarkdownOutput(t *testing.T) {
 		}
 	}
 }
+
+func TestCrosstab(t *testing.T) {
+	out := Crosstab("cycle attribution", []string{"core0", "core1"},
+		[]string{"compute", "load-stall"},
+		[][]float64{{12.5, 87.5}, {50}})
+	for _, want := range []string{"cycle attribution", "core0", "core1",
+		"compute", "load-stall", "12.500", "87.500", "50.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Crosstab output missing %q:\n%s", want, out)
+		}
+	}
+	// The ragged second row renders its missing cell as zero.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("Crosstab has %d lines, want 4 (title, header, 2 rows)", len(lines))
+	}
+	if !strings.Contains(lines[3], "0.000") {
+		t.Errorf("missing cell not rendered as 0: %q", lines[3])
+	}
+	// Wide column labels widen their column rather than colliding.
+	wide := Crosstab("t", []string{"r"}, []string{"a-very-long-category"},
+		[][]float64{{1}})
+	if !strings.Contains(wide, "a-very-long-category") {
+		t.Errorf("wide label truncated:\n%s", wide)
+	}
+}

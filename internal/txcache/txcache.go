@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"pmemaccel/internal/memaddr"
+	"pmemaccel/internal/obs"
 	"pmemaccel/internal/sim"
 )
 
@@ -150,6 +151,15 @@ type TxCache struct {
 	// head.
 	unissued int
 
+	// probe is the observability recorder (nil when disabled); coreID
+	// labels this TC's events. burst* track the current drain burst:
+	// first committed-entry issue until nothing is left unissued.
+	probe       *obs.Probe
+	coreID      int
+	burstActive bool
+	burstStart  uint64
+	burstIssued uint64
+
 	stats Stats
 }
 
@@ -167,6 +177,13 @@ func New(k *sim.Kernel, cfg Config, mem Memory, durableApply func(addr, value ui
 	}
 	k.Register(tc)
 	return tc
+}
+
+// SetProbe attaches the observability recorder (nil disables probing);
+// core labels this TC's events in the trace.
+func (tc *TxCache) SetProbe(p *obs.Probe, core int) {
+	tc.probe = p
+	tc.coreID = core
 }
 
 // Config returns the (defaulted) configuration.
@@ -191,10 +208,12 @@ func (tc *TxCache) next(i int) int { return (i + 1) % len(tc.entries) }
 func (tc *TxCache) Write(txID, addr, value uint64) WriteResult {
 	if tc.count >= len(tc.entries) {
 		tc.stats.FullRejects++
+		tc.probe.Instant(obs.KTCFull, tc.coreID, txID, tc.k.Now(), addr)
 		return Full
 	}
 	if tc.count >= tc.highWater() {
 		tc.stats.FallbackWrites++
+		tc.probe.Instant(obs.KTCFallback, tc.coreID, txID, tc.k.Now(), addr)
 		return Fallback
 	}
 	e := &tc.entries[tc.head]
@@ -204,6 +223,7 @@ func (tc *TxCache) Write(txID, addr, value uint64) WriteResult {
 		// use holes ("we have to wait for data being written back",
 		// §4.1), so the writer stalls exactly as on a full ring.
 		tc.stats.FullRejects++
+		tc.probe.Instant(obs.KTCFull, tc.coreID, txID, tc.k.Now(), addr)
 		return Full
 	}
 	*e = Entry{State: Active, TxID: txID, Addr: memaddr.WordAddr(addr), Value: value}
@@ -221,11 +241,14 @@ func (tc *TxCache) Write(txID, addr, value uint64) WriteResult {
 // Being nonvolatile, the TC makes the transaction durable at this instant.
 func (tc *TxCache) Commit(txID uint64) {
 	tc.stats.Commits++
+	var matched uint64
 	for i := range tc.entries {
 		if tc.entries[i].State == Active && tc.entries[i].TxID == txID {
 			tc.entries[i].State = Committed
+			matched++
 		}
 	}
+	tc.probe.Instant(obs.KTCCommit, tc.coreID, txID, tc.k.Now(), matched)
 }
 
 // Probe serves an LLC miss request: CAM-match live entries for the cache
@@ -249,12 +272,18 @@ func (tc *TxCache) Probe(lineAddr uint64) bool {
 func (tc *TxCache) prev(i int) int { return (i - 1 + len(tc.entries)) % len(tc.entries) }
 
 // Tick implements sim.Tickable: issue committed entries toward the NVM in
-// FIFO order, up to IssuePerCycle.
+// FIFO order, up to IssuePerCycle. A drain burst (the off-critical-path
+// write stream of §4.3) spans from the first issue until nothing is left
+// unissued.
 func (tc *TxCache) Tick(now uint64) {
 	for n := 0; n < tc.cfg.IssuePerCycle; n++ {
 		if !tc.issueOne() {
-			return
+			break
 		}
+	}
+	if tc.burstActive && tc.unissued == 0 {
+		tc.probe.Span(obs.KTCDrain, tc.coreID, 0, tc.burstStart, now, tc.burstIssued)
+		tc.burstActive = false
 	}
 }
 
@@ -284,6 +313,12 @@ func (tc *TxCache) issueOne() bool {
 	e.issued = true
 	tc.unissued--
 	tc.stats.Issued++
+	if tc.probe != nil && !tc.burstActive {
+		tc.burstActive = true
+		tc.burstStart = tc.k.Now()
+		tc.burstIssued = 0
+	}
+	tc.burstIssued++
 	addr, value := e.Addr, e.Value
 	var apply func()
 	if tc.durableApply != nil {

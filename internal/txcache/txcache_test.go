@@ -441,3 +441,30 @@ func TestEvictTxDoesNotTouchCommittedEntries(t *testing.T) {
 		t.Fatal("committed entry lost after EvictTx of same id")
 	}
 }
+
+// TestNilProbePathAllocatesNothing is the zero-overhead-when-disabled
+// regression guard at the component level: with no probe attached (the
+// default), the hot Write/Probe/Commit sequence performs no heap
+// allocations — every probe site is an untaken nil check.
+func TestNilProbePathAllocatesNothing(t *testing.T) {
+	k := sim.NewKernel()
+	nvm := &fakeNVM{k: k, lat: 1, hold: true} // hold acks: no drain closures
+	tc := New(k, Config{SizeBytes: 64 * 64, EntryBytes: 64, HighWaterFrac: 1.0}, nvm, nil)
+	var tx uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		tx++
+		tc.Write(tx, nvmAddr(0), tx)
+		tc.Write(tx, nvmAddr(1), tx)
+		tc.Probe(memaddr.LineAddr(nvmAddr(0)))
+		tc.Probe(memaddr.LineAddr(nvmAddr(7)))
+		tc.Commit(tx)
+		// Reclaim without draining so the ring never fills: evict is
+		// the test hook; the measured path is Write/Probe/Commit.
+		tc.head, tc.tail, tc.count, tc.issue, tc.unissued = 0, 0, 0, 0, 0
+		tc.entries[0] = Entry{}
+		tc.entries[1] = Entry{}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-probe Write/Probe/Commit allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,172 @@
+package pmemaccel
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pmemaccel/internal/workload"
+)
+
+// TestAttributionSumsToCycles checks the per-core cycle-attribution
+// invariant on every mechanism: with Idle filled at collect time the
+// buckets sum exactly to the performance window, and the busy portion
+// matches the core's own retirement cycle to within one cycle (a core
+// may retire its last instruction via an event callback between ticks).
+func TestAttributionSumsToCycles(t *testing.T) {
+	for _, m := range []Kind{Optimal, SP, TCache, Kiln} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(tinyConfig(workload.RBTree, m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c, st := range res.PerCore {
+				if got := st.Breakdown.Total(); got != res.Cycles {
+					t.Errorf("core %d: breakdown total = %d, want Cycles = %d (%+v)",
+						c, got, res.Cycles, st.Breakdown)
+				}
+				busy := st.Breakdown.Busy()
+				var diff uint64
+				if busy > st.DoneAt {
+					diff = busy - st.DoneAt
+				} else {
+					diff = st.DoneAt - busy
+				}
+				if diff > 1 {
+					t.Errorf("core %d: busy = %d, done at %d (diff %d > 1)",
+						c, busy, st.DoneAt, diff)
+				}
+			}
+		})
+	}
+}
+
+// TestObsTraceAndMetrics runs a two-core TCache workload with the
+// observability layer on and checks both export formats end to end: the
+// Chrome trace parses as JSON and carries transaction spans and TC drain
+// events; the metrics CSV is non-empty and has TC-occupancy and
+// queue-depth columns.
+func TestObsTraceAndMetrics(t *testing.T) {
+	cfg := tinyConfig(workload.RBTree, TCache)
+	cfg.Obs.Enabled = true
+	cfg.Obs.SampleEvery = 500
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Probe == nil {
+		t.Fatal("Obs.Enabled set but System.Probe is nil")
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	var trace bytes.Buffer
+	if err := sys.Probe.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Dur  uint64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	count := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		count[ev.Name]++
+		if ev.Ph == "X" && ev.Dur == 0 {
+			t.Fatalf("complete event %q with zero duration", ev.Name)
+		}
+	}
+	if count["tx"] == 0 {
+		t.Error("trace has no transaction spans")
+	}
+	if count["tc-drain"] == 0 {
+		t.Error("trace has no TC drain spans")
+	}
+	if count["tc-commit"] == 0 {
+		t.Error("trace has no TC commit instants")
+	}
+
+	var csv bytes.Buffer
+	if err := sys.Probe.WriteMetricsCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("metrics CSV has %d lines, want header + samples", len(lines))
+	}
+	header := lines[0]
+	for _, col := range []string{"cycle", "tc0_occupancy", "tc1_occupancy",
+		"llc_demand_queue", "nvm_write_queue", "dram_read_queue"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("metrics CSV header missing %q (header: %s)", col, header)
+		}
+	}
+	cols := strings.Count(header, ",") + 1
+	for i, line := range lines[1:] {
+		if got := strings.Count(line, ",") + 1; got != cols {
+			t.Fatalf("row %d has %d columns, header has %d", i+1, got, cols)
+		}
+	}
+}
+
+// TestObsDisabledByDefault checks the zero-overhead contract's API side:
+// without Obs.Enabled the probe stays nil and runs behave identically.
+func TestObsDisabledByDefault(t *testing.T) {
+	sys, err := NewSystem(tinyConfig(workload.RBTree, TCache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Probe != nil {
+		t.Fatal("probe allocated without Obs.Enabled")
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObsDeterminismUnchanged checks that enabling observability does
+// not perturb the simulation: cycle counts and instruction counts match
+// a probe-free run exactly.
+func TestObsDeterminismUnchanged(t *testing.T) {
+	base, err := Run(tinyConfig(workload.Hashtable, TCache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig(workload.Hashtable, TCache)
+	cfg.Obs.Enabled = true
+	cfg.Obs.SampleEvery = 250
+	obsRes, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles != obsRes.Cycles {
+		t.Errorf("cycles changed with obs on: %d vs %d", base.Cycles, obsRes.Cycles)
+	}
+	if base.TotalInstructions() != obsRes.TotalInstructions() {
+		t.Errorf("instructions changed with obs on: %d vs %d",
+			base.TotalInstructions(), obsRes.TotalInstructions())
+	}
+}
+
+// TestAttributionTableRenders sanity-checks the human-readable table.
+func TestAttributionTableRenders(t *testing.T) {
+	res, err := Run(tinyConfig(workload.SPS, TCache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.AttributionTable()
+	for _, want := range []string{"core0", "core1", "all", "compute", "idle"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("attribution table missing %q:\n%s", want, tbl)
+		}
+	}
+}

@@ -74,6 +74,27 @@ type Config struct {
 
 	// MaxCycles bounds the run (0 = default bound).
 	MaxCycles uint64
+
+	// Obs configures the cycle-level observability layer (off by
+	// default: the probe is nil and every probe site is an untaken
+	// branch).
+	Obs ObsConfig
+}
+
+// ObsConfig switches on the observability layer: a bounded event trace
+// (exported as Chrome trace_event JSON via System.Probe), a periodic
+// time-series sampler (exported as CSV), and per-core cycle attribution
+// (always collected — attribution counters live in cpu.Stats and cost
+// one increment per cycle regardless).
+type ObsConfig struct {
+	// Enabled turns on event recording and sampling.
+	Enabled bool
+	// TraceCapacity bounds the event ring buffer (entries; 0 selects
+	// the obs package default, 262144). Oldest events are overwritten.
+	TraceCapacity int
+	// SampleEvery is the sampling period in cycles (0 disables the
+	// time-series sampler).
+	SampleEvery uint64
 }
 
 // Kind re-exports the mechanism identifier so API users need not import

@@ -7,6 +7,7 @@ import (
 	"pmemaccel/internal/cache"
 	"pmemaccel/internal/cpu"
 	"pmemaccel/internal/memctrl"
+	"pmemaccel/internal/stats"
 	"pmemaccel/internal/txcache"
 )
 
@@ -56,7 +57,15 @@ type Result struct {
 func (s *System) collect(cycles uint64) *Result {
 	r := &Result{Config: s.Config, Cycles: cycles}
 	for _, c := range s.Cores {
-		r.PerCore = append(r.PerCore, c.Stats())
+		st := c.Stats()
+		// Idle closes the attribution: every unfinished cycle ticked
+		// exactly one busy bucket, so idle is the remainder of the
+		// performance window after the core retired its last
+		// instruction.
+		if busy := st.Breakdown.Busy(); cycles > busy {
+			st.Breakdown.Idle = cycles - busy
+		}
+		r.PerCore = append(r.PerCore, st)
 	}
 	r.Hier = s.Hier.Stats()
 
@@ -172,6 +181,36 @@ func (r *Result) StallFraction(get func(cpu.Stats) uint64) float64 {
 		return 0
 	}
 	return float64(stall) / float64(total)
+}
+
+// AttributionTable renders the per-core cycle attribution (where every
+// cycle of the performance window went) as percentages of Cycles, one
+// row per core plus an all-core aggregate.
+func (r *Result) AttributionTable() string {
+	rows := make([]string, 0, len(r.PerCore)+1)
+	vals := make([][]float64, 0, len(r.PerCore)+1)
+	var agg [8]uint64
+	for c, st := range r.PerCore {
+		rows = append(rows, fmt.Sprintf("core%d", c))
+		vs := st.Breakdown.Values()
+		row := make([]float64, len(vs))
+		for i, v := range vs {
+			agg[i] += v
+			if r.Cycles > 0 {
+				row[i] = float64(v) / float64(r.Cycles) * 100
+			}
+		}
+		vals = append(vals, row)
+	}
+	rows = append(rows, "all")
+	aggRow := make([]float64, len(agg))
+	if n := uint64(len(r.PerCore)) * r.Cycles; n > 0 {
+		for i, v := range agg {
+			aggRow[i] = float64(v) / float64(n) * 100
+		}
+	}
+	vals = append(vals, aggRow)
+	return stats.Crosstab("cycle attribution (% of cycles)", rows, cpu.BreakdownCategories, vals)
 }
 
 // String summarizes the run for humans.

@@ -9,8 +9,10 @@ import (
 	"pmemaccel/internal/memaddr"
 	"pmemaccel/internal/memctrl"
 	"pmemaccel/internal/memimage"
+	"pmemaccel/internal/obs"
 	"pmemaccel/internal/sim"
 	"pmemaccel/internal/trace"
+	"pmemaccel/internal/txcache"
 	"pmemaccel/internal/workload"
 )
 
@@ -26,6 +28,11 @@ type System struct {
 	Mech    mechanism.Mechanism
 	Cores   []*cpu.Core
 	Outputs []*workload.Output
+
+	// Probe is the observability recorder — nil unless Config.Obs is
+	// enabled. Export its contents with Probe.WriteChromeTrace and
+	// Probe.WriteMetricsCSV after (or during) a run.
+	Probe *obs.Probe
 
 	// Live is the volatile shadow image (newest store values); Durable
 	// is the NVM content that survives a crash.
@@ -53,7 +60,12 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 
 	s.Kernel = sim.NewKernel()
+	if cfg.Obs.Enabled {
+		s.Probe = obs.NewProbe(cfg.Obs.TraceCapacity)
+	}
 	s.Router = memctrl.NewRouter(s.Kernel, cfg.nvmConfig(), cfg.dramConfig())
+	s.Router.NVM.SetProbe(s.Probe, 0)
+	s.Router.DRAM.SetProbe(s.Probe, 1)
 
 	// Memory images: the post-warmup state is architecturally live and
 	// (for persistent words) already durable.
@@ -75,18 +87,46 @@ func NewSystem(cfg Config) (*System, error) {
 		Live:    s.Live,
 		Durable: s.Durable,
 		TC:      cfg.tcConfig(),
+		Probe:   s.Probe,
 	}
 	s.Mech = mechanism.New(cfg.Mechanism, env)
 	s.Hier = cache.New(s.Kernel, cfg.cacheConfig(), s.Router, s.Mech.Hooks(), cfg.Cores)
+	s.Hier.SetProbe(s.Probe)
 	s.Mech.Attach(s.Hier)
 
 	for c := 0; c < cfg.Cores; c++ {
 		rd := s.Mech.Rewrite(c, trace.NewReader(s.Outputs[c].Trace))
 		core := cpu.New(s.Kernel, c, cfg.CPU, s.Hier, s.Mech, rd,
 			func(addr, value uint64) { s.Live.WriteWord(addr, value) })
+		core.SetProbe(s.Probe)
 		s.Cores = append(s.Cores, core)
 	}
+	s.startSampler()
 	return s, nil
+}
+
+// startSampler registers the time-series sources and the periodic
+// kernel callback that samples them. No-op unless the probe is live and
+// a sampling period is configured.
+func (s *System) startSampler() {
+	if s.Probe == nil || s.Config.Obs.SampleEvery == 0 {
+		return
+	}
+	if tp, ok := s.Mech.(interface {
+		TC(core int) *txcache.TxCache
+	}); ok {
+		for c := 0; c < s.Config.Cores; c++ {
+			s.Probe.AddSource(fmt.Sprintf("tc%d_occupancy", c), tp.TC(c).Occupancy)
+		}
+	}
+	s.Probe.AddSource("llc_demand_queue", func() int { r, _ := s.Hier.QueueDepths(); return r })
+	s.Probe.AddSource("llc_writeback_queue", func() int { _, w := s.Hier.QueueDepths(); return w })
+	s.Probe.AddSource("llc_inflight_fills", s.Hier.InflightFills)
+	s.Probe.AddSource("nvm_read_queue", s.Router.NVM.PendingReads)
+	s.Probe.AddSource("nvm_write_queue", s.Router.NVM.PendingWrites)
+	s.Probe.AddSource("dram_read_queue", s.Router.DRAM.PendingReads)
+	s.Probe.AddSource("dram_write_queue", s.Router.DRAM.PendingWrites)
+	s.Probe.StartSampling(s.Kernel, s.Config.Obs.SampleEvery)
 }
 
 // quiesced reports whether every core finished and all persistence and
