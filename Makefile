@@ -3,9 +3,18 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench clean
+.PHONY: all build test race vet bench clean ci race-sweep
 
 all: build test
+
+# Everything CI runs (.github/workflows/ci.yml): build, vet, the full
+# test suite, and a race-mode pass over the concurrent paths.
+ci: build vet test race-sweep
+
+# Race-mode pass over the packages with goroutines: the parallel sweep
+# engine and the concurrent pmemaccel.Run entry points.
+race-sweep:
+	$(GO) test -race ./internal/sweep/ ./internal/figures/ .
 
 build:
 	$(GO) build ./...

@@ -128,8 +128,7 @@ func BenchmarkTCStallFraction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, wb := range workload.All {
 			r := g[wb][TCache]
-			frac := r.StallFraction(func(s cpu.Stats) uint64 { return s.StallStoreRetry }) /
-				float64(len(r.PerCore))
+			frac := r.StallFraction(func(s cpu.Stats) uint64 { return s.StallStoreRetry })
 			b.ReportMetric(frac*100, wb.String()+"_stall_pct")
 		}
 	}

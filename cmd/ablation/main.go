@@ -27,6 +27,7 @@ func main() {
 		benchName = flag.String("bench", "", "benchmark (default depends on sweep)")
 		mechName  = flag.String("mech", "tcache", "mechanism (mlp sweep only)")
 		ops       = flag.Int("ops", 0, "operations per core (0 = sweep default)")
+		jobs      = flag.Int("j", 0, "concurrent sweep points (0 = all cores); tables are identical for every -j")
 	)
 	flag.Parse()
 
@@ -57,13 +58,13 @@ func main() {
 		var err error
 		switch name {
 		case "tcsize":
-			s, err = ablation.TCSize(base(pick(workload.SPS), pmemaccel.TCache), ablation.DefaultTCSizes)
+			s, err = ablation.TCSize(base(pick(workload.SPS), pmemaccel.TCache), ablation.DefaultTCSizes, *jobs)
 		case "highwater":
-			s, err = ablation.HighWater(base(pick(workload.BTree), pmemaccel.TCache), ablation.DefaultHighWaters)
+			s, err = ablation.HighWater(base(pick(workload.BTree), pmemaccel.TCache), ablation.DefaultHighWaters, *jobs)
 		case "mlp":
-			s, err = ablation.MLP(base(pick(workload.RBTree), mech), ablation.DefaultMLPs)
+			s, err = ablation.MLP(base(pick(workload.RBTree), mech), ablation.DefaultMLPs, *jobs)
 		case "nvmtech":
-			s, err = ablation.NVMTechnology(base(pick(workload.SPS), mech), pmemaccel.NVMTechs)
+			s, err = ablation.NVMTechnology(base(pick(workload.SPS), mech), pmemaccel.NVMTechs, *jobs)
 		default:
 			fatal(fmt.Errorf("unknown sweep %q", name))
 		}

@@ -31,6 +31,7 @@ func main() {
 		scale     = flag.Int("scale", 128, "cache scale divisor")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		verbose   = flag.Bool("v", false, "print every trial")
+		jobs      = flag.Int("j", 0, "concurrent trials (0 = all cores); trial results are identical for every -j")
 	)
 	flag.Parse()
 
@@ -56,7 +57,7 @@ func main() {
 	fmt.Printf("workload horizon: %d cycles; injecting %d crashes (%v/%v)\n",
 		horizon, *trials, b, m)
 
-	results, violations, err := recovery.Sweep(cfg, *trials, horizon, *seed+1)
+	results, violations, err := recovery.SweepParallel(cfg, *trials, horizon, *seed+1, *jobs)
 	if err != nil {
 		fatal(err)
 	}

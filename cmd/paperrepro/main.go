@@ -22,6 +22,7 @@ import (
 	"pmemaccel"
 	"pmemaccel/internal/figures"
 	"pmemaccel/internal/hwcost"
+	"pmemaccel/internal/sweep"
 	"pmemaccel/internal/workload"
 )
 
@@ -38,6 +39,7 @@ func main() {
 		ops       = flag.Int("ops", 0, "operations per core (0 = default)")
 		scale     = flag.Int("scale", 0, "cache scale divisor (0 = default 64; 1 = full Table 2 machine)")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		jobs      = flag.Int("j", 0, "concurrent grid cells (0 = all cores); output is identical for every -j")
 	)
 	flag.Parse()
 
@@ -73,11 +75,12 @@ func main() {
 	}
 
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "running %d x %d grid...\n", len(workload.All), len(figures.Mechs))
-	grid, err := figures.Run(workload.All, figures.Mechs, configure,
+	fmt.Fprintf(os.Stderr, "running %d x %d grid on %d workers...\n",
+		len(workload.All), len(figures.Mechs), sweep.Workers(*jobs))
+	grid, err := figures.RunParallel(workload.All, figures.Mechs, configure,
 		func(b workload.Benchmark, m pmemaccel.Kind, r *pmemaccel.Result) {
 			fmt.Fprintf(os.Stderr, "  %v\n", r)
-		})
+		}, *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperrepro:", err)
 		os.Exit(1)

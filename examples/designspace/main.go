@@ -30,8 +30,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		stall := res.StallFraction(func(s cpu.Stats) uint64 { return s.StallStoreRetry }) /
-			float64(len(res.PerCore)) * 100
+		stall := res.StallFraction(func(s cpu.Stats) uint64 { return s.StallStoreRetry }) * 100
 		var fallbacks, rejects uint64
 		for _, tc := range res.TC {
 			fallbacks += tc.FallbackWrites

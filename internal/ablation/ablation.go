@@ -14,6 +14,7 @@ import (
 
 	"pmemaccel"
 	"pmemaccel/internal/cpu"
+	"pmemaccel/internal/sweep"
 	"pmemaccel/internal/workload"
 )
 
@@ -54,69 +55,78 @@ func (s *Sweep) Table() string {
 	return b.String()
 }
 
-func measure(cfg pmemaccel.Config, label string, value float64) (Point, error) {
-	res, err := pmemaccel.Run(cfg)
-	if err != nil {
-		return Point{}, err
-	}
-	p := Point{
-		Label:      label,
-		Value:      value,
-		Throughput: res.Throughput(),
-		IPC:        res.IPC(),
-	}
-	p.StallPct = res.StallFraction(func(s cpu.Stats) uint64 { return s.StallStoreRetry }) /
-		float64(len(res.PerCore)) * 100
-	for _, tc := range res.TC {
-		p.FallbackWrites += tc.FallbackWrites
-		p.FullRejects += tc.FullRejects
-	}
-	return p, nil
+// point is one sweep cell before simulation: a configuration plus its
+// axis label and value.
+type point struct {
+	cfg   pmemaccel.Config
+	label string
+	value float64
 }
 
-// TCSize sweeps the transaction-cache capacity on a benchmark.
-func TCSize(base pmemaccel.Config, sizes []int) (*Sweep, error) {
-	s := &Sweep{Name: fmt.Sprintf("TC capacity sweep (%v)", base.Benchmark)}
+// runPoints simulates every cell on a bounded worker pool (workers <= 0
+// selects GOMAXPROCS). Each cell seeds its own RNG from its
+// configuration, and points land in sweep order regardless of
+// completion order, so the table is bit-identical to a sequential run.
+func runPoints(name string, pts []point, workers int) (*Sweep, error) {
+	results, err := sweep.Run(len(pts), workers, func(i int) (Point, error) {
+		res, err := pmemaccel.Run(pts[i].cfg)
+		if err != nil {
+			return Point{}, fmt.Errorf("ablation: %s: %w", pts[i].label, err)
+		}
+		p := Point{
+			Label:      pts[i].label,
+			Value:      pts[i].value,
+			Throughput: res.Throughput(),
+			IPC:        res.IPC(),
+		}
+		// StallFraction is already normalized by cores x Cycles; print
+		// it as-is (this used to divide by the core count a second
+		// time, under-reporting stalls 4x on the default machine).
+		p.StallPct = res.StallFraction(func(s cpu.Stats) uint64 { return s.StallStoreRetry }) * 100
+		for _, tc := range res.TC {
+			p.FallbackWrites += tc.FallbackWrites
+			p.FullRejects += tc.FullRejects
+		}
+		return p, nil
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Sweep{Name: name, Points: results}, nil
+}
+
+// TCSize sweeps the transaction-cache capacity on a benchmark, running
+// cells on up to workers goroutines (<= 0 selects GOMAXPROCS).
+func TCSize(base pmemaccel.Config, sizes []int, workers int) (*Sweep, error) {
+	var pts []point
 	for _, bytes := range sizes {
 		cfg := base
 		cfg.TCBytes = bytes
-		p, err := measure(cfg, fmt.Sprintf("%dB", bytes), float64(bytes))
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, p)
+		pts = append(pts, point{cfg, fmt.Sprintf("%dB", bytes), float64(bytes)})
 	}
-	return s, nil
+	return runPoints(fmt.Sprintf("TC capacity sweep (%v)", base.Benchmark), pts, workers)
 }
 
 // HighWater sweeps the overflow trigger fraction.
-func HighWater(base pmemaccel.Config, fracs []float64) (*Sweep, error) {
-	s := &Sweep{Name: fmt.Sprintf("overflow high-water sweep (%v)", base.Benchmark)}
+func HighWater(base pmemaccel.Config, fracs []float64, workers int) (*Sweep, error) {
+	var pts []point
 	for _, f := range fracs {
 		cfg := base
 		cfg.TCHighWaterFrac = f
-		p, err := measure(cfg, fmt.Sprintf("%.2f", f), f)
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, p)
+		pts = append(pts, point{cfg, fmt.Sprintf("%.2f", f), f})
 	}
-	return s, nil
+	return runPoints(fmt.Sprintf("overflow high-water sweep (%v)", base.Benchmark), pts, workers)
 }
 
 // MLP sweeps the core's memory-level-parallelism window.
-func MLP(base pmemaccel.Config, windows []int) (*Sweep, error) {
-	s := &Sweep{Name: fmt.Sprintf("MLP window sweep (%v/%v)", base.Benchmark, base.Mechanism)}
+func MLP(base pmemaccel.Config, windows []int, workers int) (*Sweep, error) {
+	var pts []point
 	for _, w := range windows {
 		cfg := base
 		cfg.CPU.MLP = w
-		p, err := measure(cfg, fmt.Sprintf("%d", w), float64(w))
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, p)
+		pts = append(pts, point{cfg, fmt.Sprintf("%d", w), float64(w)})
 	}
-	return s, nil
+	return runPoints(fmt.Sprintf("MLP window sweep (%v/%v)", base.Benchmark, base.Mechanism), pts, workers)
 }
 
 // Default sweeps used by the CLI and benches.
@@ -137,16 +147,12 @@ func QuickBase(b workload.Benchmark, m pmemaccel.Kind) pmemaccel.Config {
 // measuring how the accelerator's advantage shifts with write latency
 // (slower writes make software logging's fenced round-trips worse and
 // stress the TC drain path harder).
-func NVMTechnology(base pmemaccel.Config, techs []pmemaccel.NVMTech) (*Sweep, error) {
-	s := &Sweep{Name: fmt.Sprintf("NVM technology sweep (%v/%v)", base.Benchmark, base.Mechanism)}
+func NVMTechnology(base pmemaccel.Config, techs []pmemaccel.NVMTech, workers int) (*Sweep, error) {
+	var pts []point
 	for _, tech := range techs {
 		cfg := base
 		cfg.NVMTech = tech
-		p, err := measure(cfg, tech.String(), float64(tech))
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, p)
+		pts = append(pts, point{cfg, tech.String(), float64(tech)})
 	}
-	return s, nil
+	return runPoints(fmt.Sprintf("NVM technology sweep (%v/%v)", base.Benchmark, base.Mechanism), pts, workers)
 }

@@ -18,7 +18,7 @@ func fastBase(b workload.Benchmark) pmemaccel.Config {
 }
 
 func TestTCSizeSweepMonotoneAtExtremes(t *testing.T) {
-	s, err := TCSize(fastBase(workload.SPS), []int{256, 4096})
+	s, err := TCSize(fastBase(workload.SPS), []int{256, 4096}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestTCSizeSweepMonotoneAtExtremes(t *testing.T) {
 }
 
 func TestHighWaterSweep(t *testing.T) {
-	s, err := HighWater(fastBase(workload.BTree), []float64{0.5, 1.0})
+	s, err := HighWater(fastBase(workload.BTree), []float64{0.5, 1.0}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestHighWaterSweep(t *testing.T) {
 func TestMLPSweepHelpsIndependentLoads(t *testing.T) {
 	// sps loads are independent: a wider MLP window must not hurt and
 	// should help.
-	s, err := MLP(fastBase(workload.SPS), []int{1, 8})
+	s, err := MLP(fastBase(workload.SPS), []int{1, 8}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestMLPSweepHelpsIndependentLoads(t *testing.T) {
 }
 
 func TestSweepTableRenders(t *testing.T) {
-	s, err := TCSize(fastBase(workload.SPS), []int{512})
+	s, err := TCSize(fastBase(workload.SPS), []int{512}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestSweepTableRenders(t *testing.T) {
 }
 
 func TestNVMTechnologySweep(t *testing.T) {
-	s, err := NVMTechnology(fastBase(workload.SPS), pmemaccel.NVMTechs)
+	s, err := NVMTechnology(fastBase(workload.SPS), pmemaccel.NVMTechs, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -123,7 +123,11 @@ type Stats struct {
 }
 
 // DebugLine, when nonzero, prints every LLC-side event touching that
-// line (temporary diagnostic aid).
+// line (temporary diagnostic aid). Debug-only: nothing in the repo
+// writes it, so concurrent pmemaccel.Run calls (the internal/sweep
+// worker pool) only ever read the constant zero. Set it from a
+// single-threaded debugging session only — it is deliberately not part
+// of Config, and writing it during a parallel sweep is a data race.
 var DebugLine uint64
 
 type llcReqKind uint8

@@ -10,6 +10,7 @@ import (
 	"pmemaccel"
 	"pmemaccel/internal/cpu"
 	"pmemaccel/internal/stats"
+	"pmemaccel/internal/sweep"
 	"pmemaccel/internal/workload"
 )
 
@@ -23,34 +24,72 @@ type Grid struct {
 	Results map[workload.Benchmark]map[pmemaccel.Kind]*pmemaccel.Result
 }
 
-// Run executes the sweep. configure produces the run configuration for a
-// cell (letting callers choose scale and op counts); progress (may be
-// nil) is invoked after each cell.
+// Run executes the sweep sequentially. configure produces the run
+// configuration for a cell (letting callers choose scale and op counts);
+// progress (may be nil) is invoked after each cell. It is exactly
+// RunParallel with one worker.
 func Run(benchs []workload.Benchmark, mechs []pmemaccel.Kind,
 	configure func(workload.Benchmark, pmemaccel.Kind) pmemaccel.Config,
 	progress func(workload.Benchmark, pmemaccel.Kind, *pmemaccel.Result)) (*Grid, error) {
+	return RunParallel(benchs, mechs, configure, progress, 1)
+}
+
+// RunParallel executes the grid on a bounded worker pool (workers <= 0
+// selects GOMAXPROCS). Every cell seeds its own RNG from its
+// configuration, so the grid is bit-identical to the sequential path
+// regardless of completion order; progress callbacks are serialized and
+// fire in grid order (bench-major, mechanism-minor), exactly as Run's.
+// configure is called sequentially in grid order before any simulation
+// starts, so it need not be safe for concurrent use.
+func RunParallel(benchs []workload.Benchmark, mechs []pmemaccel.Kind,
+	configure func(workload.Benchmark, pmemaccel.Kind) pmemaccel.Config,
+	progress func(workload.Benchmark, pmemaccel.Kind, *pmemaccel.Result),
+	workers int) (*Grid, error) {
+
+	type cell struct {
+		b   workload.Benchmark
+		m   pmemaccel.Kind
+		cfg pmemaccel.Config
+	}
+	var cells []cell
+	for _, b := range benchs {
+		for _, m := range mechs {
+			cells = append(cells, cell{b, m, configure(b, m)})
+		}
+	}
+
+	results, err := sweep.Run(len(cells), workers,
+		func(i int) (*pmemaccel.Result, error) {
+			c := cells[i]
+			res, err := pmemaccel.Run(c.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("figures: %v/%v: %w", c.b, c.m, err)
+			}
+			if res.DurableDiffCount > 0 {
+				return nil, fmt.Errorf("figures: %v/%v left NVM inconsistent (%d diffs)",
+					c.b, c.m, res.DurableDiffCount)
+			}
+			return res, nil
+		},
+		func(i int, res *pmemaccel.Result) {
+			if progress != nil {
+				progress(cells[i].b, cells[i].m, res)
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
 
 	g := &Grid{
 		Benchs:  benchs,
 		Mechs:   mechs,
 		Results: make(map[workload.Benchmark]map[pmemaccel.Kind]*pmemaccel.Result),
 	}
-	for _, b := range benchs {
-		g.Results[b] = make(map[pmemaccel.Kind]*pmemaccel.Result)
-		for _, m := range mechs {
-			res, err := pmemaccel.Run(configure(b, m))
-			if err != nil {
-				return nil, fmt.Errorf("figures: %v/%v: %w", b, m, err)
-			}
-			if res.DurableDiffCount > 0 {
-				return nil, fmt.Errorf("figures: %v/%v left NVM inconsistent (%d diffs)",
-					b, m, res.DurableDiffCount)
-			}
-			g.Results[b][m] = res
-			if progress != nil {
-				progress(b, m, res)
-			}
+	for i, c := range cells {
+		if g.Results[c.b] == nil {
+			g.Results[c.b] = make(map[pmemaccel.Kind]*pmemaccel.Result)
 		}
+		g.Results[c.b][c.m] = results[i]
 	}
 	return g, nil
 }
@@ -127,7 +166,10 @@ func (g *Grid) Figure(n int) (*stats.Series, error) {
 
 // StallTable reports the §5.2 observation: the fraction of execution time
 // each TCache run stalled on a full transaction cache (the paper: ~0
-// everywhere except 0.67%% on sps).
+// everywhere except 0.67%% on sps). Result.StallFraction already
+// normalizes by cores x Cycles, so the fraction is printed as-is —
+// dividing by the core count again (as this table did before) would
+// under-report stall time by 4x on the default machine.
 func (g *Grid) StallTable() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Transaction-cache full-stall time (TCache runs, %% of cycles)\n")
@@ -136,8 +178,7 @@ func (g *Grid) StallTable() string {
 		if r == nil {
 			continue
 		}
-		frac := r.StallFraction(func(s cpu.Stats) uint64 { return s.StallStoreRetry }) /
-			float64(len(r.PerCore))
+		frac := r.StallFraction(func(s cpu.Stats) uint64 { return s.StallStoreRetry })
 		fmt.Fprintf(&b, "  %-10s %6.3f%%\n", bench, frac*100)
 	}
 	return b.String()

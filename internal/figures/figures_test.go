@@ -1,10 +1,12 @@
 package figures
 
 import (
+	"math"
 	"strings"
 	"testing"
 
 	"pmemaccel"
+	"pmemaccel/internal/cpu"
 	"pmemaccel/internal/workload"
 )
 
@@ -33,12 +35,12 @@ func TestGridProducesAllFigures(t *testing.T) {
 			t.Fatalf("figure %d: %v", n, err)
 		}
 		// Normalized: the Optimal column is exactly 1 wherever the
-		// raw baseline is nonzero (a zero baseline zeroes the row —
+		// raw baseline is nonzero (a zero baseline NaNs the row —
 		// possible for write traffic at test scale).
 		for _, bench := range s.Benchs {
 			v := s.Get(bench, pmemaccel.Optimal.String())
-			if v != 1.0 && v != 0.0 {
-				t.Errorf("figure %d: %s optimal = %v, want 1.0 or 0", n, bench, v)
+			if v != 1.0 && !math.IsNaN(v) {
+				t.Errorf("figure %d: %s optimal = %v, want 1.0 or NaN", n, bench, v)
 			}
 		}
 		if !strings.Contains(s.Table(), "geomean") {
@@ -74,6 +76,122 @@ func TestFig9OrderingHolds(t *testing.T) {
 		if !(sp > tc && tc > opt) {
 			t.Errorf("%s: write traffic SP %d > TC %d > Optimal %d violated",
 				bench, sp, tc, opt)
+		}
+	}
+}
+
+// TestStallTableMatchesStallFraction pins the §5.2 fix: the printed
+// fraction is Result.StallFraction exactly — no residual division by the
+// core count (which is already in StallFraction's denominator and used
+// to be applied twice, under-reporting stall time 4x on a 4-core run).
+func TestStallTableMatchesStallFraction(t *testing.T) {
+	// Hand-built result: 4 cores, 1000 cycles, 40+10+0+30 = 80 stall
+	// cycles over 4*1000 core-cycles = exactly 2%.
+	r := &pmemaccel.Result{
+		Cycles: 1000,
+		PerCore: []cpu.Stats{
+			{StallStoreRetry: 40},
+			{StallStoreRetry: 10},
+			{StallStoreRetry: 0},
+			{StallStoreRetry: 30},
+		},
+	}
+	want := r.StallFraction(func(s cpu.Stats) uint64 { return s.StallStoreRetry })
+	if want != 0.02 {
+		t.Fatalf("StallFraction = %v, want 0.02 (80 stalls / 4x1000 core-cycles)", want)
+	}
+	g := &Grid{
+		Benchs: []workload.Benchmark{workload.SPS},
+		Mechs:  []pmemaccel.Kind{pmemaccel.TCache},
+		Results: map[workload.Benchmark]map[pmemaccel.Kind]*pmemaccel.Result{
+			workload.SPS: {pmemaccel.TCache: r},
+		},
+	}
+	table := g.StallTable()
+	if !strings.Contains(table, " 2.000%") {
+		t.Fatalf("stall table does not print StallFraction (2.000%%) verbatim:\n%s", table)
+	}
+	if strings.Contains(table, "0.500%") {
+		t.Fatalf("stall table still divides by the core count:\n%s", table)
+	}
+}
+
+// TestParallelGridIsDeterministic runs the same grid sequentially and on
+// four workers and asserts every Result field behind Figures 6-10 (and
+// the §5.2 table) is identical, regardless of completion order.
+func TestParallelGridIsDeterministic(t *testing.T) {
+	configure := func(b workload.Benchmark, m pmemaccel.Kind) pmemaccel.Config {
+		cfg := pmemaccel.DefaultConfig(b, m)
+		cfg.Cores = 2
+		cfg.Scale = 256
+		cfg.InitialSize = 400
+		cfg.Ops = 120
+		return cfg
+	}
+	benchs := []workload.Benchmark{workload.SPS, workload.RBTree}
+	seq, err := Run(benchs, Mechs, configure, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progress []string
+	par, err := RunParallel(benchs, Mechs, configure,
+		func(b workload.Benchmark, m pmemaccel.Kind, r *pmemaccel.Result) {
+			progress = append(progress, b.String()+"/"+m.String())
+		}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range benchs {
+		for _, m := range Mechs {
+			s, p := seq.Results[b][m], par.Results[b][m]
+			if s.Cycles != p.Cycles {
+				t.Errorf("%v/%v: cycles %d != %d", b, m, s.Cycles, p.Cycles)
+			}
+			if s.IPC() != p.IPC() {
+				t.Errorf("%v/%v: IPC %v != %v", b, m, s.IPC(), p.IPC())
+			}
+			if s.Throughput() != p.Throughput() {
+				t.Errorf("%v/%v: throughput %v != %v", b, m, s.Throughput(), p.Throughput())
+			}
+			if s.LLCMissRate != p.LLCMissRate {
+				t.Errorf("%v/%v: LLC miss rate %v != %v", b, m, s.LLCMissRate, p.LLCMissRate)
+			}
+			if s.NVMWriteTraffic() != p.NVMWriteTraffic() {
+				t.Errorf("%v/%v: NVM writes %d != %d", b, m, s.NVMWriteTraffic(), p.NVMWriteTraffic())
+			}
+			if s.AvgPersistentLoadLatency() != p.AvgPersistentLoadLatency() {
+				t.Errorf("%v/%v: pload latency %v != %v", b, m,
+					s.AvgPersistentLoadLatency(), p.AvgPersistentLoadLatency())
+			}
+			sf := func(st cpu.Stats) uint64 { return st.StallStoreRetry }
+			if s.StallFraction(sf) != p.StallFraction(sf) {
+				t.Errorf("%v/%v: stall fraction %v != %v", b, m, s.StallFraction(sf), p.StallFraction(sf))
+			}
+		}
+	}
+	// The rendered artifacts must be byte-identical.
+	for n := 6; n <= 10; n++ {
+		sf, _ := seq.Figure(n)
+		pf, _ := par.Figure(n)
+		if sf.Table() != pf.Table() {
+			t.Errorf("figure %d tables differ between -j 1 and -j 4:\n%s\n---\n%s",
+				n, sf.Table(), pf.Table())
+		}
+	}
+	if seq.StallTable() != par.StallTable() || seq.Summary() != par.Summary() {
+		t.Error("stall table or summary differs between -j 1 and -j 4")
+	}
+	// Progress fired once per cell, in grid order (bench-major).
+	if len(progress) != len(benchs)*len(Mechs) {
+		t.Fatalf("progress fired %d times for %d cells", len(progress), len(benchs)*len(Mechs))
+	}
+	i := 0
+	for _, b := range benchs {
+		for _, m := range Mechs {
+			if want := b.String() + "/" + m.String(); progress[i] != want {
+				t.Fatalf("progress[%d] = %s, want %s (grid order)", i, progress[i], want)
+			}
+			i++
 		}
 	}
 }

@@ -45,7 +45,11 @@ type retainedVersion struct {
 }
 
 // DebugLine, when nonzero, traces every Kiln event touching that line
-// address (temporary diagnostic aid).
+// address (temporary diagnostic aid). Debug-only: nothing in the repo
+// writes it, so concurrent pmemaccel.Run calls (the internal/sweep
+// worker pool) only ever read the constant zero. Set it from a
+// single-threaded debugging session only — it is deliberately not part
+// of Config, and writing it during a parallel sweep is a data race.
 var DebugLine uint64
 
 // kilnShadowBit maps a line address to its version-placeholder address:

@@ -19,12 +19,14 @@
 package recovery
 
 import (
+	"errors"
 	"fmt"
 
 	"pmemaccel"
 	"pmemaccel/internal/mechanism"
 	"pmemaccel/internal/memimage"
 	"pmemaccel/internal/sim"
+	"pmemaccel/internal/sweep"
 	"pmemaccel/internal/workload"
 )
 
@@ -88,23 +90,58 @@ func RunTrial(cfg pmemaccel.Config, crashCycle uint64) (*Trial, error) {
 }
 
 // Sweep runs trials at n pseudo-random crash cycles within (0, horizon].
-// It returns the trials and the count of violations.
+// It returns the trials and the count of violations. It is exactly
+// SweepParallel with one worker.
 func Sweep(cfg pmemaccel.Config, n int, horizon uint64, seed uint64) ([]*Trial, int, error) {
+	return SweepParallel(cfg, n, horizon, seed, 1)
+}
+
+// SweepParallel runs the crash trials on a bounded worker pool
+// (workers <= 0 selects GOMAXPROCS). The crash cycles are drawn from
+// the seed up front in trial order, so the trial list — and therefore
+// the violation count — is bit-identical to the sequential path. On
+// error the returned trials are the successful prefix a sequential
+// sweep would have accumulated.
+//
+// A zero horizon (a workload that quiesced immediately, or a caller
+// passing the Horizon of an empty run) is a descriptive error rather
+// than the panic it used to be: there is no cycle to crash into.
+func SweepParallel(cfg pmemaccel.Config, n int, horizon uint64, seed uint64, workers int) ([]*Trial, int, error) {
+	if horizon == 0 {
+		return nil, 0, fmt.Errorf(
+			"recovery: crash horizon is 0 for %v/%v (the workload quiesced immediately or the run was empty); nothing to crash into",
+			cfg.Benchmark, cfg.Mechanism)
+	}
 	rng := sim.NewRNG(seed)
-	var trials []*Trial
-	violations := 0
-	for i := 0; i < n; i++ {
-		cycle := rng.Uint64n(horizon) + 1
-		tr, err := RunTrial(cfg, cycle)
-		if err != nil {
-			return trials, violations, fmt.Errorf("trial %d (crash@%d): %w", i, cycle, err)
+	cycles := make([]uint64, n)
+	for i := range cycles {
+		cycles[i] = rng.Uint64n(horizon) + 1
+	}
+
+	trials, err := sweep.Run(n, workers, func(i int) (*Trial, error) {
+		tr, terr := RunTrial(cfg, cycles[i])
+		if terr != nil {
+			return nil, fmt.Errorf("trial %d (crash@%d): %w", i, cycles[i], terr)
 		}
-		trials = append(trials, tr)
+		return tr, nil
+	}, nil)
+	if err != nil {
+		// Keep the sequential contract: return the trials completed
+		// before the first failing trial.
+		var se *sweep.Error
+		if errors.As(err, &se) {
+			trials = trials[:se.Cell]
+		} else {
+			trials = nil
+		}
+	}
+	violations := 0
+	for _, tr := range trials {
 		if !tr.OK() {
 			violations++
 		}
 	}
-	return trials, violations, nil
+	return trials, violations, err
 }
 
 // Horizon estimates a crash horizon by running the workload once to

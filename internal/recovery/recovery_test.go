@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"strings"
 	"testing"
 
 	"pmemaccel"
@@ -206,6 +207,65 @@ func TestBankCrashConservation(t *testing.T) {
 	}
 	if violations == 0 {
 		t.Fatal("optimal conserved money in every crash; expected torn transfers")
+	}
+}
+
+func TestSweepZeroHorizonIsError(t *testing.T) {
+	// A zero horizon used to panic inside sim.Uint64n; it must be a
+	// descriptive error instead.
+	cfg := crashConfig(workload.SPS, pmemaccel.TCache, 61)
+	trials, violations, err := Sweep(cfg, 5, 0, 7)
+	if err == nil {
+		t.Fatal("zero-horizon sweep returned nil error")
+	}
+	if !strings.Contains(err.Error(), "horizon") {
+		t.Fatalf("error %q does not explain the zero horizon", err)
+	}
+	if len(trials) != 0 || violations != 0 {
+		t.Fatalf("zero-horizon sweep returned trials=%d violations=%d", len(trials), violations)
+	}
+	if _, _, err := SweepParallel(cfg, 5, 0, 7, 4); err == nil {
+		t.Fatal("zero-horizon parallel sweep returned nil error")
+	}
+}
+
+// TestSweepParallelMatchesSequential pins the determinism contract: the
+// crash cycles, per-trial outcomes and violation count of a 4-worker
+// sweep are identical to the sequential path's.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	cfg := crashConfig(workload.SPS, pmemaccel.Optimal, 71)
+	horizon, err := Horizon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, seqViol, err := Sweep(cfg, 6, horizon*2/3, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, parViol, err := SweepParallel(cfg, 6, horizon*2/3, 29, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqViol != parViol {
+		t.Fatalf("violations: sequential %d, parallel %d", seqViol, parViol)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("trials: sequential %d, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].CrashCycle != par[i].CrashCycle {
+			t.Errorf("trial %d: crash cycle %d != %d", i, seq[i].CrashCycle, par[i].CrashCycle)
+		}
+		if seq[i].OK() != par[i].OK() {
+			t.Errorf("trial %d: OK %v != %v", i, seq[i].OK(), par[i].OK())
+		}
+		if len(seq[i].AtomicityDiffs) != len(par[i].AtomicityDiffs) {
+			t.Errorf("trial %d: diffs %d != %d", i,
+				len(seq[i].AtomicityDiffs), len(par[i].AtomicityDiffs))
+		}
+		if seq[i].Cost != par[i].Cost {
+			t.Errorf("trial %d: cost %+v != %+v", i, seq[i].Cost, par[i].Cost)
+		}
 	}
 }
 

@@ -36,7 +36,9 @@ func (s *Series) Get(bench, mech string) float64 { return s.Values[bench][mech] 
 
 // Normalized returns a new series with every row divided by the
 // baseline mechanism's cell (the paper normalizes everything to a chosen
-// scheme). Rows whose baseline is zero are left zero.
+// scheme). Rows whose baseline is zero become NaN — an honest "not
+// defined" that Table/CSV/Markdown render as n/a — rather than a silent
+// zero that would vanish from Geomean and inflate the summary.
 func (s *Series) Normalized(baseline string) *Series {
 	out := NewSeries(s.Name+" (normalized to "+baseline+")", s.Benchs, s.Mechs)
 	for _, b := range s.Benchs {
@@ -44,6 +46,8 @@ func (s *Series) Normalized(baseline string) *Series {
 		for _, m := range s.Mechs {
 			if base != 0 {
 				out.Values[b][m] = s.Values[b][m] / base
+			} else {
+				out.Values[b][m] = math.NaN()
 			}
 		}
 	}
@@ -51,12 +55,12 @@ func (s *Series) Normalized(baseline string) *Series {
 }
 
 // Geomean computes the geometric mean of the column for mech across
-// benchmarks (zero cells are skipped).
+// benchmarks (zero and NaN cells are skipped).
 func (s *Series) Geomean(mech string) float64 {
 	sum, n := 0.0, 0
 	for _, b := range s.Benchs {
 		v := s.Values[b][mech]
-		if v > 0 {
+		if v > 0 { // false for NaN, too
 			sum += math.Log(v)
 			n++
 		}
@@ -65,6 +69,14 @@ func (s *Series) Geomean(mech string) float64 {
 		return 0
 	}
 	return math.Exp(sum / float64(n))
+}
+
+// cell formats one value to three decimals, rendering NaN as "n/a".
+func cell(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", v)
 }
 
 // Table renders the series as an aligned ASCII table with a geomean row.
@@ -88,7 +100,7 @@ func (s *Series) Table() string {
 	for _, bench := range s.Benchs {
 		fmt.Fprintf(&b, "%-*s", w+2, bench)
 		for _, m := range s.Mechs {
-			fmt.Fprintf(&b, "%10.3f", s.Values[bench][m])
+			fmt.Fprintf(&b, "%10s", cell(s.Values[bench][m]))
 		}
 		b.WriteByte('\n')
 	}
@@ -109,7 +121,7 @@ func (s *Series) Bars(width int) string {
 	max := 0.0
 	for _, bench := range s.Benchs {
 		for _, m := range s.Mechs {
-			if v := s.Values[bench][m]; v > max {
+			if v := s.Values[bench][m]; v > max { // false for NaN
 				max = v
 			}
 		}
@@ -129,6 +141,10 @@ func (s *Series) Bars(width int) string {
 		fmt.Fprintf(&b, "%s\n", bench)
 		for _, m := range s.Mechs {
 			v := s.Values[bench][m]
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, "  %-*s | n/a\n", mw, m)
+				continue
+			}
 			n := int(v / max * float64(width))
 			fmt.Fprintf(&b, "  %-*s |%s %.3f\n", mw, m, strings.Repeat("#", n), v)
 		}
@@ -148,7 +164,11 @@ func (s *Series) CSV() string {
 	for _, bench := range s.Benchs {
 		b.WriteString(bench)
 		for _, m := range s.Mechs {
-			fmt.Fprintf(&b, ",%g", s.Values[bench][m])
+			if v := s.Values[bench][m]; math.IsNaN(v) {
+				b.WriteString(",n/a")
+			} else {
+				fmt.Fprintf(&b, ",%g", v)
+			}
 		}
 		b.WriteByte('\n')
 	}
@@ -221,7 +241,7 @@ func (s *Series) Markdown() string {
 	for _, bench := range s.Benchs {
 		fmt.Fprintf(&b, "| %s |", bench)
 		for _, m := range s.Mechs {
-			fmt.Fprintf(&b, " %.3f |", s.Values[bench][m])
+			fmt.Fprintf(&b, " %s |", cell(s.Values[bench][m]))
 		}
 		b.WriteByte('\n')
 	}

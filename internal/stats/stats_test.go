@@ -33,11 +33,51 @@ func TestNormalized(t *testing.T) {
 }
 
 func TestNormalizedZeroBaseline(t *testing.T) {
+	// A zero baseline makes the ratio undefined: the cell must be NaN
+	// (rendered "n/a"), not a silent 0 that vanishes from the geomean.
 	s := NewSeries("x", []string{"a"}, []string{"opt", "tc"})
 	s.Set("a", "tc", 5)
 	n := s.Normalized("opt")
-	if n.Get("a", "tc") != 0 {
-		t.Fatal("zero baseline should zero the row")
+	if !math.IsNaN(n.Get("a", "tc")) {
+		t.Fatalf("zero baseline: cell = %v, want NaN", n.Get("a", "tc"))
+	}
+	if !math.IsNaN(n.Get("a", "opt")) {
+		t.Fatalf("zero baseline: baseline cell = %v, want NaN", n.Get("a", "opt"))
+	}
+}
+
+func TestNaNRendersAsNA(t *testing.T) {
+	s := NewSeries("x", []string{"a", "b"}, []string{"opt", "tc"})
+	s.Set("a", "opt", 0) // zero baseline: row a becomes NaN
+	s.Set("a", "tc", 5)
+	s.Set("b", "opt", 2)
+	s.Set("b", "tc", 1)
+	n := s.Normalized("opt")
+	for name, out := range map[string]string{
+		"Table":    n.Table(),
+		"CSV":      n.CSV(),
+		"Markdown": n.Markdown(),
+		"Bars":     n.Bars(20),
+	} {
+		if !strings.Contains(out, "n/a") {
+			t.Errorf("%s does not render NaN as n/a:\n%s", name, out)
+		}
+		if strings.Contains(out, "NaN") {
+			t.Errorf("%s leaks a raw NaN:\n%s", name, out)
+		}
+	}
+	// The defined row must still render numerically.
+	if !strings.Contains(n.Table(), "0.500") {
+		t.Errorf("defined cells lost:\n%s", n.Table())
+	}
+}
+
+func TestGeomeanSkipsNaN(t *testing.T) {
+	s := NewSeries("x", []string{"a", "b"}, []string{"m"})
+	s.Set("a", "m", 4)
+	s.Set("b", "m", math.NaN())
+	if got := s.Geomean("m"); got != 4 {
+		t.Fatalf("geomean = %v, want 4 (NaN skipped)", got)
 	}
 }
 
