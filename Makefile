@@ -3,13 +3,14 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench clean ci race-sweep
+.PHONY: all build test race vet bench clean ci race-sweep bench-smoke
 
 all: build test
 
 # Everything CI runs (.github/workflows/ci.yml): build, vet, the full
-# test suite, and a race-mode pass over the concurrent paths.
-ci: build vet test race-sweep
+# test suite, a race-mode pass over the concurrent paths, and the
+# benchmark smoke run.
+ci: build vet test race-sweep bench-smoke
 
 # Race-mode pass over the packages with goroutines: the parallel sweep
 # engine and the concurrent pmemaccel.Run entry points.
@@ -35,6 +36,11 @@ bench:
 # Simulator speed with and without the observability layer.
 bench-speed:
 	$(GO) test -bench='SimulatorSpeed' -benchtime=3x .
+
+# One-iteration benchmark smoke run: catches benchmarks that no longer
+# compile or crash, without measuring anything.
+bench-smoke:
+	$(GO) test -run '^$$' -bench SimulatorSpeed -benchtime 1x .
 
 clean:
 	$(GO) clean ./...

@@ -40,6 +40,7 @@ func main() {
 		scale     = flag.Int("scale", 0, "cache scale divisor (0 = default 64; 1 = full Table 2 machine)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		jobs      = flag.Int("j", 0, "concurrent grid cells (0 = all cores); output is identical for every -j")
+		noFF      = flag.Bool("no-ff", false, "disable quiescence fast-forward (step every cycle; same results, slower)")
 	)
 	flag.Parse()
 
@@ -71,6 +72,7 @@ func main() {
 			cfg.Scale = *scale
 		}
 		cfg.Seed = *seed
+		cfg.NoFastForward = *noFF
 		return cfg
 	}
 

@@ -45,6 +45,7 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON to this file (enables observability)")
 		metricsOut  = flag.String("metrics-out", "", "write a sampled time-series CSV to this file (enables observability)")
 		sampleEvery = flag.Uint64("sample-every", 1000, "sampling period in cycles for -metrics-out")
+		noFF        = flag.Bool("no-ff", false, "disable quiescence fast-forward (step every cycle; same results, slower)")
 	)
 	flag.Parse()
 
@@ -76,11 +77,18 @@ func main() {
 		cfg.TCBytes = *tcBytes
 	}
 	cfg.Seed = *seed
+	cfg.NoFastForward = *noFF
 	if *traceOut != "" || *metricsOut != "" {
 		cfg.Obs.Enabled = true
 		if *metricsOut != "" {
 			cfg.Obs.SampleEvery = *sampleEvery
 		}
+	}
+	// Validate here, before the (possibly long) run, so a bad flag
+	// combination fails with the specific complaint instead of deep in
+	// construction.
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
 	}
 
 	start := time.Now()

@@ -374,6 +374,14 @@ func (h *Hierarchy) wbLanded(txID uint64) {
 	}
 }
 
+// Idle implements sim.Quiescer: with an empty request queue Tick is a
+// pure no-op regardless of portBusy or commitLocks (the serve loop never
+// iterates, and CommitLockStalls only accrues against queued demand
+// reads). Queue entries are only ever appended from ticks and fired
+// events, so an empty queue stays empty across a fast-forward. In-flight
+// fills complete through kernel events and do not require ticking.
+func (h *Hierarchy) Idle() bool { return len(h.queue) == 0 }
+
 // Tick implements sim.Tickable: serve up to LLCPortsPerCycle queued LLC
 // requests, honouring write-port occupancy (slow STT-RAM writes keep the
 // port busy for several cycles).

@@ -419,6 +419,81 @@ func (c *Core) Tick(now uint64) {
 	bd.Compute++
 }
 
+// Idle implements sim.Quiescer: report true only when Tick is provably a
+// no-op at the current state, apart from the per-cycle stall accounting
+// that SkipCycles applies in bulk. The conditions mirror Tick's early
+// returns exactly, in Tick's precedence order:
+//
+//   - finished: Tick returns immediately;
+//   - commit wait: the mechanism's resume callback (a kernel event) is
+//     the only exit;
+//   - fence wait with outstanding stores/flushes: their completion
+//     callbacks (events) are the only exits;
+//   - blocked load at the head of the trace: dependent behind an
+//     outstanding load, or independent at the MLP limit;
+//   - store at the head with a full store buffer (checked before the
+//     mechanism sees the store, so Tick touches nothing else);
+//   - trace exhausted, waiting for outstanding accesses to drain.
+//
+// A persistent store that would be presented to the mechanism reports
+// busy: pers.Store may mutate mechanism state (TC full-reject counters,
+// probe instants) every retry cycle, so it is not provably a no-op.
+func (c *Core) Idle() bool {
+	if c.Finished() {
+		return true
+	}
+	if c.commitWait {
+		return true
+	}
+	if c.fenceWait && (c.outStores > 0 || c.outFlushes > 0) {
+		return true
+	}
+	if !c.hasCur {
+		// Exhausted with outstanding accesses: pure drain wait. A core
+		// that could still fetch makes progress.
+		return c.exhausted
+	}
+	switch c.cur.Kind {
+	case trace.KindLoad:
+		if c.cur.Dep {
+			return c.outLoads > 0
+		}
+		return c.outLoads >= c.cfg.MLP
+	case trace.KindStore:
+		return c.outStores >= c.cfg.StoreBuffer
+	}
+	return false
+}
+
+// SkipCycles implements sim.CycleSkipper: bulk-charge n skipped cycles
+// to exactly the stall bucket n idle Ticks would have accrued one cycle
+// at a time (the cases, and their precedence, mirror Idle and Tick).
+func (c *Core) SkipCycles(n uint64) {
+	if c.Finished() {
+		return
+	}
+	bd := &c.stats.Breakdown
+	switch {
+	case c.commitWait:
+		c.stats.StallCommit += n
+		bd.CommitWait += n
+	case c.fenceWait && (c.outStores > 0 || c.outFlushes > 0):
+		// The guard mirrors Tick: a fence whose outstanding accesses
+		// already completed is cleared on the next Tick and the cycle
+		// is charged to whatever the head record stalls on instead.
+		c.stats.StallFence += n
+		bd.FenceStall += n
+	case c.hasCur && c.cur.Kind == trace.KindLoad:
+		c.stats.StallLoad += n
+		bd.LoadStall += n
+	case c.hasCur && c.cur.Kind == trace.KindStore:
+		c.stats.StallStoreBuf += n
+		bd.StoreBufStall += n
+	default:
+		bd.DrainWait += n
+	}
+}
+
 // peekExhaustion discovers end-of-stream eagerly so Finished (and DoneAt)
 // reflect the cycle the last instruction retired, not one cycle later.
 func (c *Core) peekExhaustion() {

@@ -12,6 +12,8 @@
 package memctrl
 
 import (
+	"fmt"
+
 	"pmemaccel/internal/obs"
 	"pmemaccel/internal/sim"
 )
@@ -65,11 +67,48 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
+// Validate rejects configurations WithDefaults would silently accept but
+// that produce nonsense downstream (a drain window that can never close,
+// negative scheduling windows). Call it on the defaulted configuration.
+func (c Config) Validate() error {
+	if c.Banks <= 0 {
+		return fmt.Errorf("memctrl %s: Banks = %d, must be positive", c.Name, c.Banks)
+	}
+	if c.RowBytes == 0 {
+		return fmt.Errorf("memctrl %s: RowBytes must be positive", c.Name)
+	}
+	if c.ReadWindow <= 0 || c.WriteWindow <= 0 {
+		return fmt.Errorf("memctrl %s: scheduling windows (read %d, write %d) must be positive",
+			c.Name, c.ReadWindow, c.WriteWindow)
+	}
+	if c.CmdPerCycle <= 0 {
+		return fmt.Errorf("memctrl %s: CmdPerCycle = %d, must be positive", c.Name, c.CmdPerCycle)
+	}
+	if c.DrainHigh <= 0 || c.DrainLow < 0 {
+		return fmt.Errorf("memctrl %s: drain thresholds (high %d, low %d) must be non-negative with DrainHigh > 0",
+			c.Name, c.DrainHigh, c.DrainLow)
+	}
+	if c.DrainLow >= c.DrainHigh {
+		return fmt.Errorf("memctrl %s: DrainLow %d >= DrainHigh %d — the drain window would re-trigger every cycle",
+			c.Name, c.DrainLow, c.DrainHigh)
+	}
+	if c.ReadHit > c.ReadMiss || c.WriteHit > c.WriteMiss {
+		return fmt.Errorf("memctrl %s: row-hit latencies (read %d/%d, write %d/%d) must not exceed row-miss latencies",
+			c.Name, c.ReadHit, c.ReadMiss, c.WriteHit, c.WriteMiss)
+	}
+	return nil
+}
+
 type request struct {
 	lineAddr uint64
-	apply    func()
-	done     func()
-	enqueue  uint64
+	// bank and row are derived from lineAddr once at enqueue time; the
+	// scheduler's window scan reads them every cycle and the divisions
+	// are too hot to repeat there.
+	bank    int
+	row     uint64
+	apply   func()
+	done    func()
+	enqueue uint64
 }
 
 type bank struct {
@@ -122,10 +161,19 @@ func New(k *sim.Kernel, cfg Config) *Controller {
 }
 
 // SetProbe attaches the observability recorder (nil disables probing);
-// chanID labels the channel's trace track (0 NVM, 1 DRAM).
+// chanID labels the channel's trace track (0 NVM, 1 DRAM). A drain
+// window still open when the probe is collected is flushed as a
+// KWPQDrainOpen span ending at the collection cycle, so truncated spans
+// appear in the trace instead of vanishing.
 func (c *Controller) SetProbe(p *obs.Probe, chanID int) {
 	c.probe = p
 	c.chanID = chanID
+	p.AddOpenSpanFlusher(func(now uint64) {
+		if c.draining {
+			p.Span(obs.KWPQDrainOpen, c.chanID, 0, c.drainStart, now,
+				c.stats.Writes-c.drainWrites)
+		}
+	})
 }
 
 // Config returns the (defaulted) configuration.
@@ -145,13 +193,19 @@ func (c *Controller) PendingWrites() int { return len(c.writes) }
 
 // Read enqueues a line read; done fires when the data returns.
 func (c *Controller) Read(lineAddr uint64, done func()) {
-	c.reads = append(c.reads, request{lineAddr: lineAddr, done: done, enqueue: c.k.Now()})
+	c.reads = append(c.reads, request{
+		lineAddr: lineAddr, bank: c.bankOf(lineAddr), row: c.rowOf(lineAddr),
+		done: done, enqueue: c.k.Now(),
+	})
 }
 
 // Write enqueues a line write. apply (may be nil) runs at durability time,
 // immediately before onDurable (may be nil).
 func (c *Controller) Write(lineAddr uint64, apply, onDurable func()) {
-	c.writes = append(c.writes, request{lineAddr: lineAddr, apply: apply, done: onDurable, enqueue: c.k.Now()})
+	c.writes = append(c.writes, request{
+		lineAddr: lineAddr, bank: c.bankOf(lineAddr), row: c.rowOf(lineAddr),
+		apply: apply, done: onDurable, enqueue: c.k.Now(),
+	})
 	if len(c.writes) > c.stats.WriteQueuePeak {
 		c.stats.WriteQueuePeak = len(c.writes)
 	}
@@ -175,11 +229,11 @@ func (c *Controller) pickIssuable(q []request, window int, now uint64) int {
 	}
 	oldest := -1
 	for i := 0; i < limit; i++ {
-		b := c.bankOf(q[i].lineAddr)
+		b := q[i].bank
 		if c.banks[b].busyUntil > now {
 			continue
 		}
-		if c.banks[b].hasOpen && c.banks[b].openRow == c.rowOf(q[i].lineAddr) {
+		if c.banks[b].hasOpen && c.banks[b].openRow == q[i].row {
 			return i
 		}
 		if oldest < 0 {
@@ -192,8 +246,8 @@ func (c *Controller) pickIssuable(q []request, window int, now uint64) int {
 func (c *Controller) issue(q *[]request, idx int, isWrite bool, now uint64) {
 	r := (*q)[idx]
 	*q = append((*q)[:idx], (*q)[idx+1:]...)
-	b := c.bankOf(r.lineAddr)
-	row := c.rowOf(r.lineAddr)
+	b := r.bank
+	row := r.row
 	hit := c.banks[b].hasOpen && c.banks[b].openRow == row
 	var lat uint64
 	switch {
@@ -248,11 +302,6 @@ func (c *Controller) Tick(now uint64) {
 		c.drainStart = now
 		c.drainWrites = c.stats.Writes
 	}
-	if c.draining && len(c.writes) <= c.cfg.DrainLow {
-		c.draining = false
-		c.probe.Span(obs.KWPQDrain, c.chanID, 0, c.drainStart, now,
-			c.stats.Writes-c.drainWrites)
-	}
 	issued := false
 	for n := 0; n < c.cfg.CmdPerCycle; n++ {
 		if c.draining {
@@ -278,6 +327,40 @@ func (c *Controller) Tick(now uint64) {
 	if issued {
 		c.stats.BusyCycles++
 	}
+	// The drain window is re-checked after the issue loop, not before it:
+	// checking first (against last cycle's queue) recorded a span end —
+	// and held the draining flag — one cycle past the issue that actually
+	// emptied the queue to DrainLow.
+	if c.draining && len(c.writes) <= c.cfg.DrainLow {
+		c.draining = false
+		c.probe.Span(obs.KWPQDrain, c.chanID, 0, c.drainStart, now,
+			c.stats.Writes-c.drainWrites)
+	}
+}
+
+// Idle implements sim.Quiescer. Tick is a provable no-op when no drain
+// transition is pending and neither scheduling window holds an issuable
+// request; BusyCycles only accrues on issue, and a drain window can only
+// close in the tick that issued the queue down to DrainLow.
+//
+// The window-blocked case (requests queued, every candidate's bank busy)
+// is skippable because every busy bank has a completion event pending at
+// exactly its busyUntil cycle — issue schedules both together and events
+// are never cancelled — so the kernel's skip target never passes the
+// cycle a bank frees, and the blocked window stays blocked across every
+// skipped cycle.
+func (c *Controller) Idle() bool {
+	if !c.draining && len(c.writes) >= c.cfg.DrainHigh {
+		return false // drain-start transition pending
+	}
+	now := c.k.Now()
+	if len(c.reads) > 0 && c.pickIssuable(c.reads, c.cfg.ReadWindow, now) >= 0 {
+		return false
+	}
+	if len(c.writes) > 0 && c.pickIssuable(c.writes, c.cfg.WriteWindow, now) >= 0 {
+		return false
+	}
+	return true
 }
 
 // Quiescent reports whether no requests are queued or in flight: every

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"pmemaccel/internal/memaddr"
+	"pmemaccel/internal/obs"
 	"pmemaccel/internal/sim"
 )
 
@@ -342,5 +343,110 @@ func TestWearEmpty(t *testing.T) {
 	}
 	if len(w.TopLines(5)) != 0 {
 		t.Fatal("empty tracker has top lines")
+	}
+}
+
+// TestOpenDrainWindowFlushedAtCollection: a write-drain window still
+// open when the probe is collected surfaces as KWPQDrainOpen ending at
+// the collection cycle.
+func TestOpenDrainWindowFlushedAtCollection(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := testConfig()
+	c := New(k, cfg)
+	p := obs.NewProbe(256)
+	c.SetProbe(p, 1)
+	for i := 0; i < cfg.DrainHigh+5; i++ {
+		c.Write(memaddr.NVMBase+uint64(i)*64, nil, nil)
+	}
+	// A couple of ticks: the drain starts (queue >= DrainHigh) but is
+	// nowhere near DrainLow yet.
+	k.Step()
+	k.Step()
+	if c.Stats().DrainEntries != 1 {
+		t.Fatalf("drains started = %d, want 1", c.Stats().DrainEntries)
+	}
+	if c.Idle() {
+		t.Fatal("controller mid-drain reports idle")
+	}
+	p.FlushOpenSpans(k.Now())
+	if n := p.CountKind(obs.KWPQDrainOpen); n != 1 {
+		t.Fatalf("flushed %d open-drain spans, want 1", n)
+	}
+	for _, e := range p.Events() {
+		if e.Kind == obs.KWPQDrainOpen {
+			if e.End != k.Now() || e.Core != 1 {
+				t.Fatalf("open span = %+v, want End=%d Core=1", e, k.Now())
+			}
+			if e.Arg != c.Stats().Writes {
+				t.Fatalf("open span Arg = %d, want %d writes issued so far", e.Arg, c.Stats().Writes)
+			}
+		}
+	}
+}
+
+// TestDrainSpanEndsWhenQueueReachesLow pins the drain-window accounting
+// fixed in this change: the KWPQDrain span must end in the very cycle
+// whose issue brought the queue down to DrainLow, not one tick later
+// (the old code re-checked last cycle's queue before issuing).
+func TestDrainSpanEndsWhenQueueReachesLow(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := testConfig()
+	c := New(k, cfg)
+	p := obs.NewProbe(256)
+	c.SetProbe(p, 0)
+	for i := 0; i < cfg.DrainHigh; i++ {
+		c.Write(memaddr.NVMBase+uint64(i)*64, nil, nil)
+	}
+	reachedLow := uint64(0)
+	for i := 0; i < 100000 && p.CountKind(obs.KWPQDrain) == 0; i++ {
+		k.Step()
+		if reachedLow == 0 && c.PendingWrites() <= cfg.DrainLow {
+			reachedLow = k.Now()
+		}
+	}
+	if p.CountKind(obs.KWPQDrain) != 1 {
+		t.Fatal("drain window never closed")
+	}
+	var span obs.Event
+	for _, e := range p.Events() {
+		if e.Kind == obs.KWPQDrain {
+			span = e
+		}
+	}
+	if span.End != reachedLow {
+		t.Fatalf("drain span ends at %d, queue reached DrainLow at %d — span and accounting must agree",
+			span.End, reachedLow)
+	}
+	if want := uint64(cfg.DrainHigh - c.PendingWrites()); span.Arg != want {
+		t.Fatalf("drain span Arg = %d, want %d writes issued during the window", span.Arg, want)
+	}
+}
+
+// TestConfigValidate covers the misconfigurations Validate must reject
+// and the defaulted configuration it must accept.
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().WithDefaults().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if err := (Config{}).WithDefaults().Validate(); err != nil {
+		t.Fatalf("defaulted zero config rejected: %v", err)
+	}
+	bad := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero banks", func(c *Config) { c.Banks = -1 }},
+		{"drain low >= high", func(c *Config) { c.DrainLow = c.DrainHigh }},
+		{"drain low above high", func(c *Config) { c.DrainLow = c.DrainHigh + 10 }},
+		{"negative read window", func(c *Config) { c.ReadWindow = -8 }},
+		{"negative cmd rate", func(c *Config) { c.CmdPerCycle = -1 }},
+		{"hit slower than miss", func(c *Config) { c.ReadHit = c.ReadMiss + 1 }},
+	}
+	for _, tc := range bad {
+		cfg := testConfig().WithDefaults()
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, cfg)
+		}
 	}
 }

@@ -25,6 +25,14 @@ func New() *Image {
 	return &Image{words: make(map[uint64]uint64)}
 }
 
+// NewSized returns an empty image pre-sized for about n words, avoiding
+// rehash churn when the caller knows the fill size up front (seeding the
+// live/durable images from generated base images, building the expected
+// recovery image).
+func NewSized(n int) *Image {
+	return &Image{words: make(map[uint64]uint64, n)}
+}
+
 // ReadWord returns the 64-bit word at addr. addr is word-aligned by the
 // caller's contract; misaligned addresses are aligned down.
 func (m *Image) ReadWord(addr uint64) uint64 {

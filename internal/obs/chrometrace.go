@@ -17,16 +17,18 @@ const (
 
 // kindTrack maps each kind to its process row.
 var kindTrack = [nKinds]int{
-	KTx:         pidCores,
-	KCommitWait: pidCores,
-	KTxFlush:    pidCores,
-	KTCDrain:    pidTC,
-	KTCCommit:   pidTC,
-	KTCFull:     pidTC,
-	KTCFallback: pidTC,
-	KWPQDrain:   pidMem,
-	KLLCPDrop:   pidLLC,
-	KSideProbe:  pidLLC,
+	KTx:           pidCores,
+	KCommitWait:   pidCores,
+	KTxFlush:      pidCores,
+	KTCDrain:      pidTC,
+	KTCCommit:     pidTC,
+	KTCFull:       pidTC,
+	KTCFallback:   pidTC,
+	KWPQDrain:     pidMem,
+	KLLCPDrop:     pidLLC,
+	KSideProbe:    pidLLC,
+	KTCDrainOpen:  pidTC,
+	KWPQDrainOpen: pidMem,
 }
 
 // chromeEvent is one trace_event JSON object. Cycles are emitted
@@ -158,8 +160,9 @@ func (p *Probe) WriteChromeTrace(w io.Writer) error {
 	}{
 		TraceEvents: out,
 		OtherData: map[string]string{
-			"time_unit": "1 displayed us = 1 simulated cycle",
-			"dropped":   itoa64(p.Dropped()),
+			"time_unit":    "1 displayed us = 1 simulated cycle",
+			"dropped":      itoa64(p.Dropped()),
+			"open_flushed": itoa64(p.OpenSpansFlushed()),
 		},
 	}
 	enc := json.NewEncoder(w)
@@ -168,7 +171,7 @@ func (p *Probe) WriteChromeTrace(w io.Writer) error {
 
 func isSpanKind(k Kind) bool {
 	switch k {
-	case KTx, KCommitWait, KTxFlush, KTCDrain, KWPQDrain:
+	case KTx, KCommitWait, KTxFlush, KTCDrain, KWPQDrain, KTCDrainOpen, KWPQDrainOpen:
 		return true
 	}
 	return false

@@ -70,6 +70,15 @@ const (
 	// KSideProbe is an instant: an LLC miss on a persistent line probed
 	// the TC side path. ID is the line address; Arg is 1 on a hit.
 	KSideProbe
+	// KTCDrainOpen is a span: a transaction-cache drain burst still in
+	// progress when the probe was collected. End is the collection
+	// cycle, not the burst's natural close; Arg is entries issued so
+	// far. Emitted by FlushOpenSpans.
+	KTCDrainOpen
+	// KWPQDrainOpen is a span: a memory-controller write-drain window
+	// still open at probe collection. End is the collection cycle; Arg
+	// is writes issued so far. Emitted by FlushOpenSpans.
+	KWPQDrainOpen
 
 	nKinds
 )
@@ -83,16 +92,18 @@ func (k Kind) String() string {
 }
 
 var kindNames = [nKinds]string{
-	KTx:         "tx",
-	KCommitWait: "commit-wait",
-	KTxFlush:    "commit-flush",
-	KTCDrain:    "tc-drain",
-	KWPQDrain:   "wpq-drain",
-	KTCCommit:   "tc-commit",
-	KTCFull:     "tc-full",
-	KTCFallback: "tc-fallback",
-	KLLCPDrop:   "llc-pdrop",
-	KSideProbe:  "tc-probe",
+	KTx:           "tx",
+	KCommitWait:   "commit-wait",
+	KTxFlush:      "commit-flush",
+	KTCDrain:      "tc-drain",
+	KWPQDrain:     "wpq-drain",
+	KTCCommit:     "tc-commit",
+	KTCFull:       "tc-full",
+	KTCFallback:   "tc-fallback",
+	KLLCPDrop:     "llc-pdrop",
+	KSideProbe:    "tc-probe",
+	KTCDrainOpen:  "tc-drain-open",
+	KWPQDrainOpen: "wpq-drain-open",
 }
 
 // Event is one recorded trace entry. Spans carry [Start, End]; instants
@@ -131,6 +142,12 @@ type Probe struct {
 	sources     []source
 	samples     []sampleRow
 	sampleEvery uint64
+
+	// openFlushers emit spans still open at collection time; openSpans
+	// counts how many were flushed (previously they were silently
+	// dropped with no counter).
+	openFlushers []func(now uint64)
+	openSpans    uint64
 }
 
 // DefaultTraceCapacity bounds the event ring when the caller does not:
@@ -223,6 +240,44 @@ func (p *Probe) Dropped() uint64 {
 		return 0
 	}
 	return p.total - uint64(len(p.events))
+}
+
+// AddOpenSpanFlusher registers a callback that emits any span the
+// component still has open (a TC drain burst, a write-queue drain
+// window) when FlushOpenSpans runs. The callback must record through the
+// probe's usual Span method, using the open-span kind for its event, and
+// must not mutate component state — simulation may in principle continue
+// after a collection.
+func (p *Probe) AddOpenSpanFlusher(fn func(now uint64)) {
+	if p == nil {
+		return
+	}
+	p.openFlushers = append(p.openFlushers, fn)
+}
+
+// FlushOpenSpans records every still-open span, ending at the given
+// cycle — without it, a burst or drain window in progress when the run
+// stops silently vanishes from the trace. Call it once, at collection
+// time (System.collect does; call it manually before exporting a probe
+// from a run stopped mid-flight, e.g. after RunToCycle). Calling it
+// twice records the still-open spans twice.
+func (p *Probe) FlushOpenSpans(now uint64) {
+	if p == nil {
+		return
+	}
+	before := p.total
+	for _, fn := range p.openFlushers {
+		fn(now)
+	}
+	p.openSpans += p.total - before
+}
+
+// OpenSpansFlushed reports how many open spans FlushOpenSpans recorded.
+func (p *Probe) OpenSpansFlushed() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.openSpans
 }
 
 // AddSource registers a named integer source for the periodic sampler.

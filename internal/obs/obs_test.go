@@ -190,3 +190,56 @@ func BenchmarkEnabledProbe(b *testing.B) {
 		p.Instant(KTCCommit, 0, uint64(i), uint64(i), 0)
 	}
 }
+
+// TestFlushOpenSpans: registered flushers run once per Flush call, the
+// counter tracks spans actually recorded, and the nil probe no-ops.
+func TestFlushOpenSpans(t *testing.T) {
+	var nilp *Probe
+	nilp.AddOpenSpanFlusher(func(uint64) { t.Fatal("nil probe invoked a flusher") })
+	nilp.FlushOpenSpans(10)
+	if nilp.OpenSpansFlushed() != 0 {
+		t.Fatal("nil probe reports flushed spans")
+	}
+
+	p := NewProbe(16)
+	open := true
+	p.AddOpenSpanFlusher(func(now uint64) {
+		if open {
+			p.Span(KTCDrainOpen, 0, 0, 5, now, 2)
+		}
+	})
+	p.AddOpenSpanFlusher(func(now uint64) {}) // a component with nothing open
+	p.FlushOpenSpans(42)
+	if p.OpenSpansFlushed() != 1 {
+		t.Fatalf("OpenSpansFlushed = %d, want 1", p.OpenSpansFlushed())
+	}
+	ev := p.Events()
+	if len(ev) != 1 || ev[0].Kind != KTCDrainOpen || ev[0].End != 42 {
+		t.Fatalf("events = %+v, want one KTCDrainOpen ending at 42", ev)
+	}
+	// After the span closes, a second collection flushes nothing new.
+	open = false
+	p.FlushOpenSpans(50)
+	if p.OpenSpansFlushed() != 1 {
+		t.Fatalf("OpenSpansFlushed after close = %d, want 1", p.OpenSpansFlushed())
+	}
+}
+
+// TestOpenSpanKindsExported: the open-span kinds survive the Chrome
+// trace export as duration events and the counter appears in otherData.
+func TestOpenSpanKindsExported(t *testing.T) {
+	p := NewProbe(16)
+	p.AddOpenSpanFlusher(func(now uint64) { p.Span(KWPQDrainOpen, 0, 0, 10, now, 7) })
+	p.FlushOpenSpans(99)
+	var buf bytes.Buffer
+	if err := p.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "wpq-drain-open") {
+		t.Fatal("exported trace lacks the open-span event")
+	}
+	if !strings.Contains(s, `"open_flushed":"1"`) {
+		t.Fatalf("otherData lacks open_flushed counter: %s", s)
+	}
+}

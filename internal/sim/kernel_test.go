@@ -220,3 +220,147 @@ func TestQuickEventOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// quiescentTicker is a Tickable that is idle unless it has pending work,
+// and counts both real ticks and bulk-skipped cycles.
+type quiescentTicker struct {
+	busyUntil uint64 // busy while now < busyUntil
+	k         *Kernel
+	ticks     uint64
+	skipped   uint64
+}
+
+func (q *quiescentTicker) Tick(cycle uint64)   { q.ticks++ }
+func (q *quiescentTicker) Idle() bool          { return q.k.Now() >= q.busyUntil }
+func (q *quiescentTicker) SkipCycles(n uint64) { q.skipped += n }
+
+func TestFastForwardSkipsIdleGapToNextEvent(t *testing.T) {
+	k := NewKernel()
+	q := &quiescentTicker{k: k}
+	k.Register(q)
+	fired := uint64(0)
+	k.Schedule(100, func() { fired = k.Now() })
+	cycle, ok := k.RunUntil(func() bool { return fired != 0 }, 1000)
+	if !ok || cycle != 100 || fired != 100 {
+		t.Fatalf("RunUntil = (%d, %v), fired at %d; want event at 100", cycle, ok, fired)
+	}
+	if k.Skipped() != 99 {
+		t.Fatalf("Skipped = %d, want 99 (cycles 1..99 jumped)", k.Skipped())
+	}
+	if q.skipped != 99 {
+		t.Fatalf("SkipCycles total = %d, want 99", q.skipped)
+	}
+	// The event cycle itself must be a real Step (events then ticks).
+	if q.ticks != 1 {
+		t.Fatalf("real ticks = %d, want 1 (only the event cycle)", q.ticks)
+	}
+	if q.ticks+q.skipped != 100 {
+		t.Fatalf("ticks+skipped = %d, want 100 (accounting must cover every cycle)", q.ticks+q.skipped)
+	}
+}
+
+func TestFastForwardDisabledTicksEveryCycle(t *testing.T) {
+	k := NewKernel()
+	k.SetFastForward(false)
+	q := &quiescentTicker{k: k}
+	k.Register(q)
+	fired := false
+	k.Schedule(50, func() { fired = true })
+	k.RunUntil(func() bool { return fired }, 1000)
+	if k.Skipped() != 0 {
+		t.Fatalf("Skipped = %d with fast-forward off, want 0", k.Skipped())
+	}
+	if q.ticks != 50 || q.skipped != 0 {
+		t.Fatalf("ticks = %d skipped = %d, want 50 real ticks, 0 skipped", q.ticks, q.skipped)
+	}
+}
+
+func TestBusyComponentBlocksFastForward(t *testing.T) {
+	k := NewKernel()
+	q := &quiescentTicker{k: k, busyUntil: 30}
+	k.Register(q)
+	fired := false
+	k.Schedule(100, func() { fired = true })
+	k.RunUntil(func() bool { return fired }, 1000)
+	// Cycles 1..30 tick for real (idle only once now >= 30); the jump
+	// covers the remaining gap up to the event at 100.
+	if q.ticks+q.skipped != 100 {
+		t.Fatalf("ticks+skipped = %d, want 100", q.ticks+q.skipped)
+	}
+	if q.ticks < 30 {
+		t.Fatalf("real ticks = %d, want >= 30 (busy cycles must not be skipped)", q.ticks)
+	}
+	if k.Skipped() == 0 {
+		t.Fatal("expected some cycles skipped after the component went idle")
+	}
+}
+
+func TestFastForwardWithoutQuiescerNeverSkips(t *testing.T) {
+	k := NewKernel()
+	c := &countingTicker{}
+	k.Register(c) // implements Tickable only
+	fired := false
+	k.Schedule(40, func() { fired = true })
+	k.RunUntil(func() bool { return fired }, 1000)
+	if k.Skipped() != 0 {
+		t.Fatalf("Skipped = %d, want 0: a non-Quiescer component is always busy", k.Skipped())
+	}
+	if len(c.ticks) != 40 {
+		t.Fatalf("ticked %d cycles, want 40", len(c.ticks))
+	}
+}
+
+func TestFastForwardRespectsRunUntilLimit(t *testing.T) {
+	k := NewKernel()
+	q := &quiescentTicker{k: k}
+	k.Register(q)
+	// No events at all: with an idle machine RunUntil jumps to the limit.
+	cycle, ok := k.RunUntil(func() bool { return false }, 75)
+	if ok || cycle != 75 {
+		t.Fatalf("RunUntil = (%d, %v), want (75, false)", cycle, ok)
+	}
+	if q.ticks+q.skipped != 75 {
+		t.Fatalf("ticks+skipped = %d, want 75", q.ticks+q.skipped)
+	}
+}
+
+func TestScheduleDoesNotAllocatePerEvent(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	// Warm the heap so slice growth is out of the picture.
+	for i := 0; i < 64; i++ {
+		k.Schedule(uint64(i+1), fn)
+	}
+	for k.Pending() > 0 {
+		k.Step()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			k.Schedule(uint64(i+1), fn)
+		}
+		for k.Pending() > 0 {
+			k.Step()
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Schedule/pop allocated %.1f allocs per run, want 0 (typed heap must not box events)", allocs)
+	}
+}
+
+func TestDebugIdleBlockersCountsFirstBusy(t *testing.T) {
+	k := NewKernel()
+	q := &quiescentTicker{k: k, busyUntil: 10}
+	k.Register(q)
+	counts := DebugIdleBlockers(k)
+	k.Schedule(20, func() {})
+	k.RunUntil(func() bool { return false }, 20)
+	got := counts()
+	if len(got) != 1 {
+		t.Fatalf("counts for %d tickables, want 1", len(got))
+	}
+	// One blocked poll per cycle 0..9; the component reports idle from
+	// cycle 10 and the kernel jumps the rest of the way to the limit.
+	if got[0] != 10 {
+		t.Fatalf("blocked %d polls, want 10", got[0])
+	}
+}

@@ -119,6 +119,32 @@ func (c Config) WithDefaults() Config {
 // Entries returns the data-array entry count.
 func (c Config) Entries() int { return c.SizeBytes / c.EntryBytes }
 
+// Validate rejects configurations WithDefaults would silently accept but
+// that misbehave downstream (a high-water mark above 1, an entry size
+// that does not divide the capacity). Call it on the defaulted
+// configuration.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.EntryBytes <= 0 {
+		return fmt.Errorf("txcache: SizeBytes %d and EntryBytes %d must be positive",
+			c.SizeBytes, c.EntryBytes)
+	}
+	if c.SizeBytes%c.EntryBytes != 0 {
+		return fmt.Errorf("txcache: EntryBytes %d does not divide SizeBytes %d — %d bytes would be silently lost",
+			c.EntryBytes, c.SizeBytes, c.SizeBytes%c.EntryBytes)
+	}
+	if c.Entries() < 2 {
+		return fmt.Errorf("txcache: %d bytes / %d-byte entries leaves %d entries, need at least 2",
+			c.SizeBytes, c.EntryBytes, c.Entries())
+	}
+	if c.HighWaterFrac <= 0 || c.HighWaterFrac > 1 {
+		return fmt.Errorf("txcache: HighWaterFrac %g must be in (0, 1]", c.HighWaterFrac)
+	}
+	if c.IssuePerCycle <= 0 {
+		return fmt.Errorf("txcache: IssuePerCycle %d must be positive", c.IssuePerCycle)
+	}
+	return nil
+}
+
 // Stats counts TC activity.
 type Stats struct {
 	Writes         uint64
@@ -180,10 +206,18 @@ func New(k *sim.Kernel, cfg Config, mem Memory, durableApply func(addr, value ui
 }
 
 // SetProbe attaches the observability recorder (nil disables probing);
-// core labels this TC's events in the trace.
+// core labels this TC's events in the trace. A drain burst still open
+// when the probe is collected is flushed as a KTCDrainOpen span ending
+// at the collection cycle, so truncated bursts appear in the trace
+// instead of vanishing.
 func (tc *TxCache) SetProbe(p *obs.Probe, core int) {
 	tc.probe = p
 	tc.coreID = core
+	p.AddOpenSpanFlusher(func(now uint64) {
+		if tc.burstActive {
+			p.Span(obs.KTCDrainOpen, tc.coreID, 0, tc.burstStart, now, tc.burstIssued)
+		}
+	})
 }
 
 // Config returns the (defaulted) configuration.
@@ -200,7 +234,12 @@ func (tc *TxCache) highWater() int {
 	return int(float64(len(tc.entries)) * tc.cfg.HighWaterFrac)
 }
 
-func (tc *TxCache) next(i int) int { return (i + 1) % len(tc.entries) }
+func (tc *TxCache) next(i int) int {
+	if i == len(tc.entries)-1 {
+		return 0
+	}
+	return i + 1
+}
 
 // Write inserts a buffered store for txID at the head. The result tells
 // the caller whether to proceed normally, take the fall-back path, or
@@ -256,12 +295,21 @@ func (tc *TxCache) Commit(txID uint64) {
 // the TC holds data for that line.
 func (tc *TxCache) Probe(lineAddr uint64) bool {
 	tc.stats.Probes++
+	if tc.count == 0 {
+		return false // an empty CAM cannot hit
+	}
 	lineAddr = memaddr.LineAddr(lineAddr)
 	// Out-of-order acknowledgments leave available holes between tail
-	// and head, so the scan walks every slot, newest first.
-	for n, i := 0, tc.prev(tc.head); n < len(tc.entries); n, i = n+1, tc.prev(i) {
+	// and head, so the scan walks slots newest first — but only until it
+	// has seen every live entry: the remaining slots are all available
+	// and cannot match.
+	for n, live, i := 0, 0, tc.prev(tc.head); n < len(tc.entries) && live < tc.count; n, i = n+1, tc.prev(i) {
 		e := &tc.entries[i]
-		if e.State != Available && memaddr.LineAddr(e.Addr) == lineAddr {
+		if e.State == Available {
+			continue
+		}
+		live++
+		if memaddr.LineAddr(e.Addr) == lineAddr {
 			tc.stats.ProbeHits++
 			return true
 		}
@@ -269,7 +317,27 @@ func (tc *TxCache) Probe(lineAddr uint64) bool {
 	return false
 }
 
-func (tc *TxCache) prev(i int) int { return (i - 1 + len(tc.entries)) % len(tc.entries) }
+func (tc *TxCache) prev(i int) int {
+	if i == 0 {
+		return len(tc.entries) - 1
+	}
+	return i - 1
+}
+
+// Idle implements sim.Quiescer: Tick is a pure no-op exactly when
+// either nothing is left to issue and no drain burst is waiting to close
+// (the burst-end check emits a probe span and clears burstActive, a
+// state change), or the issue pointer is parked on an active entry — in
+// FIFO order an uncommitted entry blocks everything younger, so issueOne
+// returns without advancing the pointer or touching the burst. The
+// blocking entry can only commit through its core's activity, and a core
+// that could run reports busy itself.
+func (tc *TxCache) Idle() bool {
+	if tc.unissued == 0 {
+		return !tc.burstActive
+	}
+	return tc.entries[tc.issue].State == Active
+}
 
 // Tick implements sim.Tickable: issue committed entries toward the NVM in
 // FIFO order, up to IssuePerCycle. A drain burst (the off-critical-path

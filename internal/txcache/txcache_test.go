@@ -6,6 +6,7 @@ import (
 
 	"pmemaccel/internal/memaddr"
 	"pmemaccel/internal/memimage"
+	"pmemaccel/internal/obs"
 	"pmemaccel/internal/sim"
 )
 
@@ -466,5 +467,80 @@ func TestNilProbePathAllocatesNothing(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("nil-probe Write/Probe/Commit allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestOpenDrainBurstFlushedAtCollection: a drain burst still in progress
+// when the probe is collected must surface as a KTCDrainOpen span ending
+// at the collection cycle (previously it silently vanished).
+func TestOpenDrainBurstFlushedAtCollection(t *testing.T) {
+	k := sim.NewKernel()
+	nvm := &fakeNVM{k: k, lat: 152}
+	p := obs.NewProbe(64)
+	tc := New(k, Config{SizeBytes: 8 * 64, EntryBytes: 64}, nvm, nil)
+	tc.SetProbe(p, 3)
+	tc.Write(1, nvmAddr(0), 10)
+	tc.Write(1, nvmAddr(1), 11)
+	tc.Write(1, nvmAddr(2), 12)
+	tc.Commit(1)
+	// One tick issues one entry (IssuePerCycle default 1): the burst is
+	// open with two entries still unissued.
+	k.Step()
+	if tc.Idle() {
+		t.Fatal("TC mid-burst reports idle")
+	}
+	p.FlushOpenSpans(k.Now())
+	if n := p.CountKind(obs.KTCDrainOpen); n != 1 {
+		t.Fatalf("flushed %d open-burst spans, want 1", n)
+	}
+	if p.OpenSpansFlushed() != 1 {
+		t.Fatalf("OpenSpansFlushed = %d, want 1", p.OpenSpansFlushed())
+	}
+	ev := findKind(t, p, obs.KTCDrainOpen)
+	if ev.End != k.Now() || ev.Arg != 1 || ev.Core != 3 {
+		t.Fatalf("open span = %+v, want End=%d Arg=1 Core=3", ev, k.Now())
+	}
+	// A completed burst, by contrast, closes as a normal KTCDrain span
+	// and must not re-flush.
+	k.RunUntil(tc.Drained, 10000)
+	k.Step() // one more tick for the burst-close check
+	p.FlushOpenSpans(k.Now())
+	if p.OpenSpansFlushed() != 1 {
+		t.Fatalf("closed burst re-flushed: OpenSpansFlushed = %d, want 1", p.OpenSpansFlushed())
+	}
+	if p.CountKind(obs.KTCDrain) != 1 {
+		t.Fatalf("completed burst spans = %d, want 1", p.CountKind(obs.KTCDrain))
+	}
+}
+
+func findKind(t *testing.T, p *obs.Probe, k obs.Kind) obs.Event {
+	t.Helper()
+	for _, e := range p.Events() {
+		if e.Kind == k {
+			return e
+		}
+	}
+	t.Fatalf("no %v event recorded", k)
+	return obs.Event{}
+}
+
+// TestConfigValidate covers the misconfigurations Validate must reject
+// and the shapes it must accept.
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).WithDefaults().Validate(); err != nil {
+		t.Fatalf("defaulted zero config rejected: %v", err)
+	}
+	bad := []Config{
+		{SizeBytes: -64, EntryBytes: 64, HighWaterFrac: 0.9, IssuePerCycle: 1},
+		{SizeBytes: 4 << 10, EntryBytes: 100, HighWaterFrac: 0.9, IssuePerCycle: 1}, // 100 does not divide 4096
+		{SizeBytes: 64, EntryBytes: 64, HighWaterFrac: 0.9, IssuePerCycle: 1},       // 1 entry
+		{SizeBytes: 4 << 10, EntryBytes: 64, HighWaterFrac: 1.5, IssuePerCycle: 1},
+		{SizeBytes: 4 << 10, EntryBytes: 64, HighWaterFrac: -0.1, IssuePerCycle: 1},
+		{SizeBytes: 4 << 10, EntryBytes: 64, HighWaterFrac: 0.9, IssuePerCycle: -2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, cfg)
+		}
 	}
 }

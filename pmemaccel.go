@@ -75,6 +75,13 @@ type Config struct {
 	// MaxCycles bounds the run (0 = default bound).
 	MaxCycles uint64
 
+	// NoFastForward disables the kernel's quiescence fast-forward, so
+	// every cycle is stepped even when the whole machine is provably
+	// idle. Results are byte-identical either way (the skip-equivalence
+	// tests enforce it); the switch exists for those tests and for perf
+	// comparison.
+	NoFastForward bool
+
 	// Obs configures the cycle-level observability layer (off by
 	// default: the probe is nil and every probe site is an untaken
 	// branch).
@@ -174,7 +181,54 @@ func (c Config) withDefaults() (Config, error) {
 		c.MaxCycles = 2_000_000_000
 	}
 	c.CPU = c.CPU.WithDefaults()
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
 	return c, nil
+}
+
+// Validate checks the (defaulted) configuration for values the zero-fill
+// defaults would silently accept but that produce confusing downstream
+// behaviour: drain thresholds that can never close a window, a TC
+// high-water fraction above 1, an entry size that does not divide the TC
+// capacity. NewSystem calls it via withDefaults; the cmd/ tools call it
+// directly after flag parsing so users get a descriptive error before a
+// long run starts. Zero-valued fields are legal (they select defaults):
+// validate the config WithDefaults applied, which is what this method
+// receives on the NewSystem path.
+func (c Config) Validate() error {
+	if c.Cores < 0 {
+		return fmt.Errorf("pmemaccel: Cores = %d, must be positive", c.Cores)
+	}
+	if c.Cores == 0 {
+		c.Cores = 4 // zero selects the default; validate what will run
+	}
+	if c.Ops < 0 || c.InitialSize < 0 {
+		return fmt.Errorf("pmemaccel: Ops %d and InitialSize %d must be non-negative", c.Ops, c.InitialSize)
+	}
+	if c.Scale < 0 || (c.Scale > 0 && c.Scale&(c.Scale-1) != 0) {
+		return fmt.Errorf("pmemaccel: Scale %d must be a positive power of two", c.Scale)
+	}
+	if c.TCHighWaterFrac < 0 || c.TCHighWaterFrac > 1 {
+		return fmt.Errorf("pmemaccel: TCHighWaterFrac %g must be in [0, 1] (0 selects the default 0.9)", c.TCHighWaterFrac)
+	}
+	if len(c.Mix) > 0 && len(c.Mix) != c.Cores {
+		return fmt.Errorf("pmemaccel: Mix has %d entries for %d cores", len(c.Mix), c.Cores)
+	}
+	// Normalize the fields the derived sub-configs divide by, so Validate
+	// is safe on a not-yet-defaulted config.
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if err := c.tcConfig().WithDefaults().Validate(); err != nil {
+		return fmt.Errorf("pmemaccel: transaction cache: %w", err)
+	}
+	for _, mc := range []memctrl.Config{c.nvmConfig(), c.dramConfig()} {
+		if err := mc.WithDefaults().Validate(); err != nil {
+			return fmt.Errorf("pmemaccel: %w", err)
+		}
+	}
+	return nil
 }
 
 // cacheConfig builds the hierarchy geometry for the (scaled) machine.

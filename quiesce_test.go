@@ -1,0 +1,117 @@
+package pmemaccel
+
+// Skip-equivalence suite for the kernel's quiescence fast-forward
+// (internal/sim): every workload x mechanism cell must produce an
+// identical Result with fast-forward on and off. The Quiescer contract
+// (DESIGN.md §10) promises byte-identical simulation output; these tests
+// enforce it field by field, including the per-core cycle attribution
+// that SkipCycles back-fills in bulk.
+
+import (
+	"reflect"
+	"testing"
+
+	"pmemaccel/internal/workload"
+)
+
+// runPair runs one cell with fast-forward on and off and returns both
+// results with their Configs zeroed (the NoFastForward flag is the one
+// intended difference; everything downstream of it must agree).
+func runPair(t *testing.T, b workload.Benchmark, m Kind) (ff, noff *Result) {
+	t.Helper()
+	cfg := smokeConfig(b, m)
+
+	cfg.NoFastForward = false
+	ff, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("%v/%v fast-forward on: %v", b, m, err)
+	}
+	cfg.NoFastForward = true
+	noff, err = Run(cfg)
+	if err != nil {
+		t.Fatalf("%v/%v fast-forward off: %v", b, m, err)
+	}
+	ff.Config = Config{}
+	noff.Config = Config{}
+	return ff, noff
+}
+
+func TestFastForwardResultsIdenticalAllCells(t *testing.T) {
+	for _, b := range workload.All {
+		for _, m := range []Kind{Optimal, SP, TCache, Kiln} {
+			b, m := b, m
+			t.Run(b.String()+"/"+m.String(), func(t *testing.T) {
+				t.Parallel()
+				ff, noff := runPair(t, b, m)
+				if !reflect.DeepEqual(ff, noff) {
+					t.Errorf("results diverge with fast-forward on vs off:\n  on:  %v\n  off: %v", ff, noff)
+					// Narrow the divergence for the failure message.
+					if ff.Cycles != noff.Cycles {
+						t.Errorf("Cycles: %d vs %d", ff.Cycles, noff.Cycles)
+					}
+					for c := range ff.PerCore {
+						if !reflect.DeepEqual(ff.PerCore[c], noff.PerCore[c]) {
+							t.Errorf("core %d stats diverge:\n  on:  %+v\n  off: %+v",
+								c, ff.PerCore[c], noff.PerCore[c])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAttributionClosesUnderFastForward re-asserts the cycle-attribution
+// invariant (every cycle of the performance window lands in exactly one
+// bucket) on the fast-forward path, where skipped spans are bulk-charged
+// by Core.SkipCycles instead of accrued tick by tick.
+func TestAttributionClosesUnderFastForward(t *testing.T) {
+	for _, m := range []Kind{Optimal, SP, TCache, Kiln} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(smokeConfig(workload.RBTree, m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c, st := range res.PerCore {
+				if got := st.Breakdown.Total(); got != res.Cycles {
+					t.Errorf("core %d: breakdown total %d != cycles %d", c, got, res.Cycles)
+				}
+			}
+		})
+	}
+}
+
+// TestFastForwardActuallySkips guards against the suite passing
+// vacuously: on a workload dominated by NVM latency the kernel must skip
+// a nonzero number of cycles, or fast-forward is not engaging at all.
+func TestFastForwardActuallySkips(t *testing.T) {
+	s, err := NewSystem(smokeConfig(workload.RBTree, SP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Kernel.Skipped() == 0 {
+		t.Fatal("fast-forward skipped 0 cycles on an NVM-latency-bound run; quiescence is never detected")
+	}
+}
+
+// TestNoFastForwardDisablesSkipping checks the escape hatch: with
+// NoFastForward set the kernel must step every cycle.
+func TestNoFastForwardDisablesSkipping(t *testing.T) {
+	cfg := smokeConfig(workload.RBTree, SP)
+	cfg.NoFastForward = true
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Kernel.Skipped(); n != 0 {
+		t.Fatalf("NoFastForward run skipped %d cycles, want 0", n)
+	}
+}

@@ -55,6 +55,10 @@ type Result struct {
 }
 
 func (s *System) collect(cycles uint64) *Result {
+	// Close the observability record before reading it out: spans still
+	// open (a TC drain burst, a write-drain window) are flushed into the
+	// trace as explicit open-span events instead of being dropped.
+	s.Probe.FlushOpenSpans(s.Kernel.Now())
 	r := &Result{Config: s.Config, Cycles: cycles}
 	for _, c := range s.Cores {
 		st := c.Stats()

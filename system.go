@@ -60,6 +60,7 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 
 	s.Kernel = sim.NewKernel()
+	s.Kernel.SetFastForward(!cfg.NoFastForward)
 	if cfg.Obs.Enabled {
 		s.Probe = obs.NewProbe(cfg.Obs.TraceCapacity)
 	}
@@ -68,9 +69,14 @@ func NewSystem(cfg Config) (*System, error) {
 	s.Router.DRAM.SetProbe(s.Probe, 1)
 
 	// Memory images: the post-warmup state is architecturally live and
-	// (for persistent words) already durable.
-	s.Live = memimage.New()
-	s.Durable = memimage.New()
+	// (for persistent words) already durable. Pre-size for the combined
+	// base images; both grow from there as the run writes fresh words.
+	var baseWords int
+	for _, out := range s.Outputs {
+		baseWords += out.BaseImage.Len()
+	}
+	s.Live = memimage.NewSized(baseWords)
+	s.Durable = memimage.NewSized(baseWords)
 	for _, out := range s.Outputs {
 		out.BaseImage.ForEach(func(addr, v uint64) {
 			s.Live.WriteWord(addr, v)
@@ -180,7 +186,7 @@ func (s *System) RecoveredDurable() *memimage.Image {
 // the per-core durably-committed transaction counts at this instant:
 // the warmed-up base plus each core's committed prefix of write sets.
 func (s *System) ExpectedDurable() *memimage.Image {
-	img := memimage.New()
+	img := memimage.NewSized(s.Durable.Len())
 	s.Durable.ForEach(func(addr, v uint64) {
 		// Base persistent words only: mechanism-specific regions
 		// (logs) are excluded from the expectation domain.

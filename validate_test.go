@@ -1,0 +1,71 @@
+package pmemaccel
+
+// Config.Validate tests: the root validator must reject nonsense shapes
+// with descriptive errors (NewSystem calls it through withDefaults, so a
+// bad config fails fast instead of producing a silently wrong machine)
+// and accept everything DefaultConfig/PaperConfig produce.
+
+import (
+	"strings"
+	"testing"
+
+	"pmemaccel/internal/workload"
+)
+
+func TestValidateAcceptsStockConfigs(t *testing.T) {
+	for _, b := range workload.All {
+		for _, m := range []Kind{Optimal, SP, TCache, Kiln} {
+			if err := DefaultConfig(b, m).Validate(); err != nil {
+				t.Errorf("DefaultConfig(%v, %v): %v", b, m, err)
+			}
+			if err := PaperConfig(b, m).Validate(); err != nil {
+				t.Errorf("PaperConfig(%v, %v): %v", b, m, err)
+			}
+		}
+	}
+	// The zero config validates too: every zero field selects a default.
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string // substring of the error message
+	}{
+		{"negative cores", func(c *Config) { c.Cores = -2 }, "Cores"},
+		{"negative ops", func(c *Config) { c.Ops = -1 }, "Ops"},
+		{"non-power-of-two scale", func(c *Config) { c.Scale = 48 }, "power of two"},
+		{"negative scale", func(c *Config) { c.Scale = -4 }, "power of two"},
+		{"high-water above 1", func(c *Config) { c.TCHighWaterFrac = 1.5 }, "TCHighWaterFrac"},
+		{"mix length mismatch", func(c *Config) { c.Mix = []workload.Benchmark{workload.SPS} }, "Mix"},
+		{"tc entry size mismatch", func(c *Config) { c.TCBytes = 100 }, "transaction cache"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig(workload.RBTree, TCache)
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the config", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestNewSystemRejectsBadConfig: validation is wired into construction,
+// not just available as an optional call.
+func TestNewSystemRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig(workload.RBTree, TCache)
+	cfg.Scale = 3
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("NewSystem accepted Scale=3 (not a power of two)")
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted Scale=3")
+	}
+}
