@@ -3,14 +3,14 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench clean ci race-sweep bench-smoke
+.PHONY: all build test race vet staticcheck bench clean ci race-sweep bench-smoke
 
 all: build test
 
-# Everything CI runs (.github/workflows/ci.yml): build, vet, the full
-# test suite, a race-mode pass over the concurrent paths, and the
-# benchmark smoke run.
-ci: build vet test race-sweep bench-smoke
+# Everything CI runs (.github/workflows/ci.yml): build, vet (plus
+# staticcheck when installed), the full test suite, a race-mode pass over
+# the concurrent paths, and the benchmark smoke run.
+ci: build vet staticcheck test race-sweep bench-smoke
 
 # Race-mode pass over the packages with goroutines: the parallel sweep
 # engine and the concurrent pmemaccel.Run entry points.
@@ -29,6 +29,15 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet. Skips with a note when the staticcheck
+# binary is not on PATH (CI installs it; local runs need not).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 # Regenerate the paper's headline numbers (Figures 6-10, Table 1).
 bench:
 	$(GO) test -bench=Fig -benchtime=1x .
@@ -38,7 +47,9 @@ bench-speed:
 	$(GO) test -bench='SimulatorSpeed' -benchtime=3x .
 
 # One-iteration benchmark smoke run: catches benchmarks that no longer
-# compile or crash, without measuring anything.
+# compile or crash, without measuring anything. The SimulatorSpeed
+# pattern covers the plain, observability-on, and 4-channel
+# (SimulatorSpeedMultiChannel) configurations.
 bench-smoke:
 	$(GO) test -run '^$$' -bench SimulatorSpeed -benchtime 1x .
 

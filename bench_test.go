@@ -187,6 +187,25 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
 }
 
+// BenchmarkSimulatorSpeedMultiChannel is BenchmarkSimulatorSpeed on a
+// 4-channel NVM backend — the first memory-side scaling scenario. The
+// sim_cycles/s delta against the single-channel bench prices the extra
+// per-cycle controller work; the simulated-cycle count itself drops as
+// the channels overlap NVM traffic.
+func BenchmarkSimulatorSpeedMultiChannel(b *testing.B) {
+	var simCycles uint64
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(workload.RBTree, TCache)
+		cfg.NVMChannels = 4
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simCycles += res.Cycles
+	}
+	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+}
+
 // BenchmarkSimulatorSpeedObs is BenchmarkSimulatorSpeed with the full
 // observability layer on (event trace + 1-kcycle sampling). Comparing
 // the two sim_cycles/s metrics bounds the enabled-probe cost; the

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		sweepName = flag.String("sweep", "", "tcsize, highwater, mlp, or nvmtech (empty = all)")
+		sweepName = flag.String("sweep", "", "tcsize, highwater, mlp, nvmtech, or channels (empty = all)")
 		benchName = flag.String("bench", "", "benchmark (default depends on sweep)")
 		mechName  = flag.String("mech", "tcache", "mechanism (mlp sweep only)")
 		ops       = flag.Int("ops", 0, "operations per core (0 = sweep default)")
@@ -65,6 +65,8 @@ func main() {
 			s, err = ablation.MLP(base(pick(workload.RBTree), mech), ablation.DefaultMLPs, *jobs)
 		case "nvmtech":
 			s, err = ablation.NVMTechnology(base(pick(workload.SPS), mech), pmemaccel.NVMTechs, *jobs)
+		case "channels":
+			s, err = ablation.Channels(base(pick(workload.SPS), mech), ablation.DefaultChannelCounts, *jobs)
 		default:
 			fatal(fmt.Errorf("unknown sweep %q", name))
 		}
@@ -78,7 +80,7 @@ func main() {
 		run(*sweepName)
 		return
 	}
-	for _, name := range []string{"tcsize", "highwater", "mlp", "nvmtech"} {
+	for _, name := range []string{"tcsize", "highwater", "mlp", "nvmtech", "channels"} {
 		run(name)
 	}
 }

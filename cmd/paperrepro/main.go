@@ -38,6 +38,8 @@ func main() {
 		markdown  = flag.Bool("markdown", false, "render figures as markdown tables (EXPERIMENTS.md format)")
 		ops       = flag.Int("ops", 0, "operations per core (0 = default)")
 		scale     = flag.Int("scale", 0, "cache scale divisor (0 = default 64; 1 = full Table 2 machine)")
+		nvmChans  = flag.Int("nvm-channels", 0, "address-interleaved NVM channels (0 = 1)")
+		dramChans = flag.Int("dram-channels", 0, "address-interleaved DRAM channels (0 = 1)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		jobs      = flag.Int("j", 0, "concurrent grid cells (0 = all cores); output is identical for every -j")
 		noFF      = flag.Bool("no-ff", false, "disable quiescence fast-forward (step every cycle; same results, slower)")
@@ -71,6 +73,8 @@ func main() {
 		if *scale > 0 {
 			cfg.Scale = *scale
 		}
+		cfg.NVMChannels = *nvmChans
+		cfg.DRAMChannels = *dramChans
 		cfg.Seed = *seed
 		cfg.NoFastForward = *noFF
 		return cfg

@@ -38,6 +38,10 @@ func main() {
 		cores     = flag.Int("cores", 0, "core count (0 = 4)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		tcBytes   = flag.Int("tc", 0, "transaction cache bytes per core (0 = 4096)")
+
+		nvmChans   = flag.Int("nvm-channels", 0, "address-interleaved NVM channels (0 = 1)")
+		dramChans  = flag.Int("dram-channels", 0, "address-interleaved DRAM channels (0 = 1)")
+		interleave = flag.Int("interleave", 0, "channel interleave granularity in bytes, power of two (0 = 4096)")
 		paper     = flag.Bool("paper", false, "use the full Table 2 machine (Scale 1; slow)")
 		verbose   = flag.Bool("v", false, "print per-core and subsystem detail")
 		asJSON    = flag.Bool("json", false, "emit the result as JSON")
@@ -76,6 +80,9 @@ func main() {
 	if *tcBytes > 0 {
 		cfg.TCBytes = *tcBytes
 	}
+	cfg.NVMChannels = *nvmChans
+	cfg.DRAMChannels = *dramChans
+	cfg.ChannelInterleaveBytes = *interleave
 	cfg.Seed = *seed
 	cfg.NoFastForward = *noFF
 	if *traceOut != "" || *metricsOut != "" {

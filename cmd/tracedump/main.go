@@ -61,9 +61,14 @@ func main() {
 	if *mechName == "sp" {
 		// Build a minimal environment just to drive the rewriter.
 		k := sim.NewKernel()
+		backend, berr := memctrl.NewBackend(k, memctrl.Topology{},
+			memctrl.Config{Name: "NVM"}, memctrl.Config{Name: "DRAM"})
+		if berr != nil {
+			fatal(berr)
+		}
 		env := &mechanism.Env{
 			K: k, Cores: 1,
-			Router:  memctrl.NewRouter(k, memctrl.Config{Name: "NVM"}, memctrl.Config{Name: "DRAM"}),
+			Mem:     backend,
 			Live:    memimage.New(),
 			Durable: memimage.New(),
 			TC:      txcache.Config{},

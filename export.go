@@ -30,6 +30,13 @@ type Export struct {
 	NVMWrites uint64 `json:"nvm_writes"`
 	DRAMReads uint64 `json:"dram_reads"`
 
+	// Effective channel counts (after defaulting) and the per-NVM-channel
+	// write split, in interleave order — flat for a balanced interleave,
+	// skewed when the working set camps on few interleave blocks.
+	NVMChannels      int      `json:"nvm_channels"`
+	DRAMChannels     int      `json:"dram_channels"`
+	NVMChannelWrites []uint64 `json:"nvm_channel_writes,omitempty"`
+
 	PloadMean float64 `json:"pload_mean_cycles"`
 	PloadP50  uint64  `json:"pload_p50_cycles"`
 	PloadP99  uint64  `json:"pload_p99_cycles"`
@@ -66,6 +73,8 @@ func (r *Result) Export() Export {
 		NVMReads:     r.NVM.Reads,
 		NVMWrites:    r.NVM.Writes,
 		DRAMReads:    r.DRAM.Reads,
+		NVMChannels:  len(r.PerNVMChannel),
+		DRAMChannels: len(r.PerDRAMChannel),
 		PloadMean:    r.AvgPersistentLoadLatency(),
 		PloadP50:     r.PloadP50,
 		PloadP99:     r.PloadP99,
@@ -74,6 +83,12 @@ func (r *Result) Export() Export {
 		NVMWearMax:       r.NVMWearMax,
 		NVMWearHotness:   r.NVMWearHotness,
 		DurableDiffCount: r.DurableDiffCount,
+	}
+	if len(r.PerNVMChannel) > 1 {
+		e.NVMChannelWrites = make([]uint64, len(r.PerNVMChannel))
+		for i, s := range r.PerNVMChannel {
+			e.NVMChannelWrites[i] = s.Writes
+		}
 	}
 	if len(r.PerCore) > 0 {
 		e.TCFullStallPct = r.StallFraction(func(s cpu.Stats) uint64 { return s.StallStoreRetry }) /

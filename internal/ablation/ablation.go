@@ -1,8 +1,9 @@
 // Package ablation sweeps the design parameters the paper identifies as
 // knobs: transaction-cache capacity ("flexibly configured based on the
 // transaction sizes", §3), the overflow high-water mark (§4.1), the TC
-// drain bandwidth, NVM write latency (technology sensitivity), and the
-// core's memory-level parallelism. Each sweep varies exactly one
+// drain bandwidth, NVM write latency (technology sensitivity), the
+// core's memory-level parallelism, and the backend's NVM channel count
+// (memory-side parallelism). Each sweep varies exactly one
 // parameter and reports throughput plus the mechanism-specific pressure
 // counters, producing the data behind examples/designspace and
 // BenchmarkAblation*.
@@ -129,11 +130,25 @@ func MLP(base pmemaccel.Config, windows []int, workers int) (*Sweep, error) {
 	return runPoints(fmt.Sprintf("MLP window sweep (%v/%v)", base.Benchmark, base.Mechanism), pts, workers)
 }
 
+// Channels sweeps the NVM channel count of the memory backend, measuring
+// how much memory-level parallelism at the NVM side buys each mechanism
+// (DRAM stays single-channel so the axis isolates the persistent path).
+func Channels(base pmemaccel.Config, counts []int, workers int) (*Sweep, error) {
+	var pts []point
+	for _, n := range counts {
+		cfg := base
+		cfg.NVMChannels = n
+		pts = append(pts, point{cfg, fmt.Sprintf("%dch", n), float64(n)})
+	}
+	return runPoints(fmt.Sprintf("NVM channel sweep (%v/%v)", base.Benchmark, base.Mechanism), pts, workers)
+}
+
 // Default sweeps used by the CLI and benches.
 var (
-	DefaultTCSizes    = []int{256, 512, 1024, 2048, 4096, 8192, 16384}
-	DefaultHighWaters = []float64{0.5, 0.7, 0.9, 1.0}
-	DefaultMLPs       = []int{1, 2, 4, 8, 16}
+	DefaultTCSizes       = []int{256, 512, 1024, 2048, 4096, 8192, 16384}
+	DefaultHighWaters    = []float64{0.5, 0.7, 0.9, 1.0}
+	DefaultMLPs          = []int{1, 2, 4, 8, 16}
+	DefaultChannelCounts = []int{1, 2, 4, 8}
 )
 
 // QuickBase returns a fast base configuration for sweeps.

@@ -66,7 +66,7 @@ func (c Config) WithDefaults() Config {
 }
 
 // Memory is the main-memory interface the LLC misses to (implemented by
-// memctrl.Router).
+// memctrl.Backend, which routes each line to its owning channel).
 type Memory interface {
 	// Read fetches a line; done fires when data returns.
 	Read(lineAddr uint64, done func())

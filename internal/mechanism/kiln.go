@@ -86,7 +86,7 @@ func (m *kiln) Hooks() cache.Hooks {
 				vals := m.nvllc.ReadLine(addr)
 				gen := m.ForcedWritebacks
 				m.retained[addr] = retainedVersion{vals: vals, gen: gen}
-				m.env.Router.Write(addr, func() {
+				m.env.Mem.Write(addr, func() {
 					m.env.Durable.WriteLine(addr, vals)
 					if r, ok := m.retained[addr]; ok && r.gen == gen {
 						delete(m.retained, addr)

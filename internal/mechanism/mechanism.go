@@ -21,7 +21,6 @@ import (
 	"pmemaccel/internal/cache"
 	"pmemaccel/internal/cpu"
 	"pmemaccel/internal/memaddr"
-	"pmemaccel/internal/memctrl"
 	"pmemaccel/internal/memimage"
 	"pmemaccel/internal/obs"
 	"pmemaccel/internal/sim"
@@ -88,11 +87,40 @@ func (k Kind) Description() string {
 	}
 }
 
+// MemPort is the mechanisms' port into main memory: the cache.Memory
+// request surface plus the one piece of memory-side introspection a
+// mechanism needs (SP's pcommit stall drains the NVM write queues). It is
+// implemented by memctrl.Backend; mechanisms never see the topology —
+// per-channel FIFO durability ordering is the backend's contract.
+type MemPort interface {
+	// Read fetches a line; done fires when data returns.
+	Read(lineAddr uint64, done func())
+	// Write retires a line towards memory. apply runs at durability
+	// time, then onDurable (both may be nil).
+	Write(lineAddr uint64, apply, onDurable func())
+	// PendingNVMWrites reports queued, unissued writes summed across
+	// the NVM channels.
+	PendingNVMWrites() int
+}
+
+// TCIntrospector is the optional interface a mechanism implements when it
+// deploys per-core transaction caches. The system layer uses it — via a
+// declared type assertion, not an anonymous one — to register TC
+// occupancy sources with the observability sampler and to collect TC
+// stats into the Result.
+type TCIntrospector interface {
+	// TC returns core's transaction cache.
+	TC(core int) *txcache.TxCache
+	// TCStatsAll returns every core's transaction cache counters.
+	TCStatsAll() []txcache.Stats
+}
+
 // Env is the shared simulator state a mechanism plugs into.
 type Env struct {
-	K      *sim.Kernel
-	Cores  int
-	Router *memctrl.Router
+	K     *sim.Kernel
+	Cores int
+	// Mem is the main-memory port (the multi-channel backend).
+	Mem MemPort
 	// Live is the volatile shadow image: the newest architectural value
 	// of every line, updated at store retirement.
 	Live *memimage.Image

@@ -15,14 +15,17 @@ import (
 func testEnv(t *testing.T) *Env {
 	t.Helper()
 	k := sim.NewKernel()
-	router := memctrl.NewRouter(k,
+	backend, err := memctrl.NewBackend(k, memctrl.Topology{},
 		memctrl.Config{Name: "NVM", Banks: 4, ReadHit: 40, ReadMiss: 130, WriteHit: 120, WriteMiss: 152},
 		memctrl.Config{Name: "DRAM", Banks: 4, ReadHit: 27, ReadMiss: 80, WriteHit: 27, WriteMiss: 80},
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return &Env{
-		K:       k,
-		Cores:   2,
-		Router:  router,
+		K:     k,
+		Cores: 2,
+		Mem:   backend,
 		Live:    memimage.New(),
 		Durable: memimage.New(),
 		TC:      txcache.Config{SizeBytes: 8 * 64, EntryBytes: 64},
@@ -33,7 +36,7 @@ func attach(env *Env, m Mechanism) *cache.Hierarchy {
 	h := cache.New(env.K, cache.Config{
 		L1Size: 1 << 10, L1Ways: 2, L2Size: 4 << 10, L2Ways: 4,
 		LLCSize: 16 << 10, LLCWays: 4,
-	}, env.Router, m.Hooks(), env.Cores)
+	}, env.Mem, m.Hooks(), env.Cores)
 	m.Attach(h)
 	return h
 }
@@ -377,7 +380,7 @@ func TestSPPcommitStallsUntilWriteQueueDrains(t *testing.T) {
 	attach(env, m)
 	// With writes pending at the NVM controller, TX_END stalls until
 	// the queue drains (pcommit).
-	env.Router.NVM.Write(memaddr.NVMBase, nil, nil)
+	env.Mem.Write(memaddr.NVMBase, nil, nil)
 	resumed := false
 	if !m.TxEnd(0, 1, func() { resumed = true }) {
 		t.Fatal("TxEnd with pending NVM writes did not stall")

@@ -147,12 +147,12 @@ func (m *sp) TxBegin(core int, txID uint64) {}
 // drains.
 func (m *sp) TxEnd(core int, txID uint64, resume func()) bool {
 	m.committed[core]++
-	if m.env.Router.NVM.PendingWrites() == 0 {
+	if m.env.Mem.PendingNVMWrites() == 0 {
 		return false
 	}
 	var poll func()
 	poll = func() {
-		if m.env.Router.NVM.PendingWrites() == 0 {
+		if m.env.Mem.PendingNVMWrites() == 0 {
 			resume()
 			return
 		}

@@ -59,7 +59,7 @@ func newTCache(env *Env) Mechanism {
 	}
 	durableApply := func(addr, value uint64) { env.Durable.WriteWord(addr, value) }
 	for c := 0; c < env.Cores; c++ {
-		tc := txcache.New(env.K, env.TC, env.Router, durableApply)
+		tc := txcache.New(env.K, env.TC, env.Mem, durableApply)
 		tc.SetProbe(env.Probe, c)
 		m.tcs = append(m.tcs, tc)
 	}
@@ -67,6 +67,10 @@ func newTCache(env *Env) Mechanism {
 }
 
 func (m *tcMech) Kind() Kind { return TCache }
+
+// The TCache mechanism is the one mechanism exposing its transaction
+// caches to the system layer's sampler and result collector.
+var _ TCIntrospector = (*tcMech)(nil)
 
 // TC exposes core's transaction cache (stats, tests).
 func (m *tcMech) TC(core int) *txcache.TxCache { return m.tcs[core] }
@@ -146,7 +150,7 @@ func (m *tcMech) fallbackWrite(core int, addr, value uint64) {
 	}
 	m.fbPending[core] = append(m.fbPending[core], trace.Write{Addr: memaddr.WordAddr(addr), Value: value})
 	m.fbOutstanding[core]++
-	m.env.Router.Write(memaddr.LineAddr(slot), nil, func() {
+	m.env.Mem.Write(memaddr.LineAddr(slot), nil, func() {
 		m.fbOutstanding[core]--
 		m.checkFallbackCommit(core)
 	})
@@ -167,7 +171,7 @@ func (m *tcMech) TxEnd(core int, txID uint64, resume func()) bool {
 			slot := m.shadowCursor[core]
 			m.shadowCursor[core] += 2 * memaddr.WordSize
 			pend := m.fbPending[core]
-			m.env.Router.Write(memaddr.LineAddr(slot), func() {
+			m.env.Mem.Write(memaddr.LineAddr(slot), func() {
 				for _, w := range pend {
 					m.env.Durable.WriteWord(w.Addr, w.Value)
 				}

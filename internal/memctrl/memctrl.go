@@ -1,9 +1,11 @@
 // Package memctrl models the main-memory controllers — the DRAMSim2-like
 // half of the paper's simulation infrastructure. Each Controller owns one
-// channel (the system has two: one NVM, one DRAM, per Table 2) with
-// per-bank row-buffer timing, separate read and write queues, and the
-// paper's scheduling policy: read-first, with a write drain once the write
-// queue reaches 80% occupancy.
+// channel with per-bank row-buffer timing, separate read and write
+// queues, and the paper's scheduling policy: read-first, with a write
+// drain once the write queue reaches 80% occupancy. A Backend assembles
+// controllers into the hybrid main memory of Figure 1: a Topology's worth
+// of address-interleaved NVM and DRAM channels (Table 2's machine is the
+// default 1x1 topology) behind one typed request port.
 //
 // Writes carry two callbacks: apply, run at the instant the write becomes
 // durable (the caller uses it to update the durable memory image), and

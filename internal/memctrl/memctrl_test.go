@@ -187,37 +187,6 @@ func TestReadLatencyStats(t *testing.T) {
 	}
 }
 
-func TestRouterDispatch(t *testing.T) {
-	k := sim.NewKernel()
-	r := NewRouter(k, testConfig(), Config{Name: "DRAM", Banks: 4, ReadHit: 13, ReadMiss: 40, WriteHit: 13, WriteMiss: 40})
-	var nvmDone, dramDone, logDone bool
-	r.Read(memaddr.NVMBase, func() { nvmDone = true })
-	r.Read(memaddr.DRAMBase, func() { dramDone = true })
-	r.Write(memaddr.NVMLogBase, nil, func() { logDone = true })
-	k.RunUntil(func() bool { return nvmDone && dramDone && logDone }, 10000)
-	if r.NVM.Stats().Reads != 1 || r.DRAM.Stats().Reads != 1 {
-		t.Fatalf("router misdispatched: NVM %d reads, DRAM %d reads",
-			r.NVM.Stats().Reads, r.DRAM.Stats().Reads)
-	}
-	if r.NVM.Stats().Writes != 1 {
-		t.Fatal("log write did not reach the NVM channel")
-	}
-	if !r.Quiescent() {
-		t.Fatal("router not quiescent after all completions")
-	}
-}
-
-func TestRouterPanicsOnUnmapped(t *testing.T) {
-	k := sim.NewKernel()
-	r := NewRouter(k, testConfig(), testConfig())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unmapped address did not panic")
-		}
-	}()
-	r.Read(4, nil)
-}
-
 func TestConfigDefaults(t *testing.T) {
 	c := Config{}.WithDefaults()
 	if c.Banks == 0 || c.ReadWindow == 0 || c.WriteWindow == 0 ||

@@ -21,6 +21,20 @@ func newWear() *Wear {
 	return &Wear{counts: make(map[uint64]uint64)}
 }
 
+// MergeWear combines per-channel trackers into one whole-space profile
+// (interleaving splits a space's lines across channels; endurance
+// questions are asked of the space).
+func MergeWear(ws ...*Wear) *Wear {
+	m := newWear()
+	for _, w := range ws {
+		for line, c := range w.counts {
+			m.counts[line] += c
+		}
+		m.total += w.total
+	}
+	return m
+}
+
 // record notes one write to lineAddr.
 func (w *Wear) record(lineAddr uint64) {
 	w.counts[lineAddr]++

@@ -77,8 +77,11 @@ const (
 	Full
 )
 
-// Memory is the TC's private port to the NVM controller.
-type Memory interface {
+// Port is the TC's private write port into the memory backend. Drained
+// entries target whichever NVM channel owns their line; the TC itself is
+// topology-blind — per-channel FIFO completion of same-line writes is all
+// its address-matched acknowledgments require.
+type Port interface {
 	Write(lineAddr uint64, apply, onDurable func())
 }
 
@@ -163,7 +166,7 @@ type Stats struct {
 type TxCache struct {
 	k   *sim.Kernel
 	cfg Config
-	mem Memory
+	mem Port
 	// durableApply writes one word into the durable NVM image; the
 	// system provides it so the TC stays image-agnostic.
 	durableApply func(addr, value uint64)
@@ -191,7 +194,7 @@ type TxCache struct {
 
 // New builds a TC draining into mem. durableApply may be nil (timing-only
 // use).
-func New(k *sim.Kernel, cfg Config, mem Memory, durableApply func(addr, value uint64)) *TxCache {
+func New(k *sim.Kernel, cfg Config, mem Port, durableApply func(addr, value uint64)) *TxCache {
 	cfg = cfg.WithDefaults()
 	if cfg.Entries() < 2 {
 		panic(fmt.Sprintf("txcache: %d bytes / %d-byte entries leaves %d entries",

@@ -10,7 +10,7 @@ import (
 	"pmemaccel/internal/sim"
 )
 
-// fakeNVM is a scriptable Memory that can hold acknowledgments.
+// fakeNVM is a scriptable Port that can hold acknowledgments.
 type fakeNVM struct {
 	k      *sim.Kernel
 	lat    uint64

@@ -105,7 +105,7 @@ func TestObsTraceAndMetrics(t *testing.T) {
 	}
 	header := lines[0]
 	for _, col := range []string{"cycle", "tc0_occupancy", "tc1_occupancy",
-		"llc_demand_queue", "nvm_write_queue", "dram_read_queue"} {
+		"llc_demand_queue", "nvm0_write_queue", "dram0_read_queue"} {
 		if !strings.Contains(header, col) {
 			t.Errorf("metrics CSV header missing %q (header: %s)", col, header)
 		}

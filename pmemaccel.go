@@ -66,6 +66,16 @@ type Config struct {
 	// NVMTech selects the nonvolatile technology timing model
 	// (default STT-RAM, the paper's Table 2 choice).
 	NVMTech NVMTech
+	// NVMChannels and DRAMChannels set the number of address-interleaved
+	// memory channels per space (0 = 1, the paper's Figure 1 machine).
+	// Each channel is a full controller with its own banks and queues,
+	// so channel count is the memory-level-parallelism scaling knob.
+	NVMChannels  int
+	DRAMChannels int
+	// ChannelInterleaveBytes is the interleave granularity: consecutive
+	// blocks of this many bytes rotate across a space's channels. Must
+	// be a power of two of at least one cache line (0 = 4096).
+	ChannelInterleaveBytes int
 	// TCBytes is the per-core transaction cache capacity (Table 2:
 	// 4 KB).
 	TCBytes int
@@ -228,7 +238,27 @@ func (c Config) Validate() error {
 			return fmt.Errorf("pmemaccel: %w", err)
 		}
 	}
+	if c.NVMChannels < 0 || c.DRAMChannels < 0 {
+		return fmt.Errorf("pmemaccel: channel counts (NVM %d, DRAM %d) must be non-negative (0 selects 1)",
+			c.NVMChannels, c.DRAMChannels)
+	}
+	if c.ChannelInterleaveBytes < 0 {
+		return fmt.Errorf("pmemaccel: ChannelInterleaveBytes %d must be non-negative (0 selects 4096)",
+			c.ChannelInterleaveBytes)
+	}
+	if err := c.topology().WithDefaults().Validate(); err != nil {
+		return fmt.Errorf("pmemaccel: %w", err)
+	}
 	return nil
+}
+
+// topology builds the memory-channel layout from the configuration.
+func (c Config) topology() memctrl.Topology {
+	return memctrl.Topology{
+		NVMChannels:     c.NVMChannels,
+		DRAMChannels:    c.DRAMChannels,
+		InterleaveBytes: uint64(c.ChannelInterleaveBytes),
+	}
 }
 
 // cacheConfig builds the hierarchy geometry for the (scaled) machine.

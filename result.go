@@ -6,6 +6,7 @@ import (
 
 	"pmemaccel/internal/cache"
 	"pmemaccel/internal/cpu"
+	"pmemaccel/internal/mechanism"
 	"pmemaccel/internal/memctrl"
 	"pmemaccel/internal/stats"
 	"pmemaccel/internal/txcache"
@@ -27,8 +28,15 @@ type Result struct {
 	L2MissRate  float64
 	LLCMissRate float64
 
+	// NVM and DRAM aggregate each space's controller activity across
+	// its channels (for the default 1x1 topology they are exactly the
+	// single channel's counters). PerNVMChannel/PerDRAMChannel keep the
+	// per-channel split, in interleave order.
 	NVM  memctrl.Stats
 	DRAM memctrl.Stats
+
+	PerNVMChannel  []memctrl.Stats
+	PerDRAMChannel []memctrl.Stats
 
 	// TC holds per-core transaction cache stats (TCache runs only).
 	TC []txcache.Stats
@@ -88,10 +96,12 @@ func (s *System) collect(cycles uint64) *Result {
 	}
 	r.LLCMissRate = s.Hier.LLC().MissRate()
 
-	r.NVM = s.Router.NVM.Stats()
-	r.DRAM = s.Router.DRAM.Stats()
+	r.NVM = s.Backend.NVMStats()
+	r.DRAM = s.Backend.DRAMStats()
+	r.PerNVMChannel = s.Backend.NVMChannelStats()
+	r.PerDRAMChannel = s.Backend.DRAMChannelStats()
 
-	if tp, ok := s.Mech.(interface{ TCStatsAll() []txcache.Stats }); ok {
+	if tp, ok := s.Mech.(mechanism.TCIntrospector); ok {
 		r.TC = tp.TCStatsAll()
 	}
 
@@ -106,7 +116,7 @@ func (s *System) collect(cycles uint64) *Result {
 	r.PloadP50 = cpu.PloadPercentile(agg, 0.5)
 	r.PloadP99 = cpu.PloadPercentile(agg, 0.99)
 
-	wear := s.Router.NVM.Wear()
+	wear := s.Backend.NVMWear()
 	r.NVMLinesTouched = wear.LinesTouched()
 	r.NVMWearMean = wear.MeanLineWrites()
 	r.NVMWearMax = wear.MaxLineWrites()

@@ -12,7 +12,6 @@ import (
 	"pmemaccel/internal/obs"
 	"pmemaccel/internal/sim"
 	"pmemaccel/internal/trace"
-	"pmemaccel/internal/txcache"
 	"pmemaccel/internal/workload"
 )
 
@@ -23,7 +22,7 @@ type System struct {
 	Config Config
 
 	Kernel  *sim.Kernel
-	Router  *memctrl.Router
+	Backend *memctrl.Backend
 	Hier    *cache.Hierarchy
 	Mech    mechanism.Mechanism
 	Cores   []*cpu.Core
@@ -64,9 +63,23 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Obs.Enabled {
 		s.Probe = obs.NewProbe(cfg.Obs.TraceCapacity)
 	}
-	s.Router = memctrl.NewRouter(s.Kernel, cfg.nvmConfig(), cfg.dramConfig())
-	s.Router.NVM.SetProbe(s.Probe, 0)
-	s.Router.DRAM.SetProbe(s.Probe, 1)
+	s.Backend, err = memctrl.NewBackend(s.Kernel, cfg.topology(), cfg.nvmConfig(), cfg.dramConfig())
+	if err != nil {
+		return nil, fmt.Errorf("pmemaccel: %w", err)
+	}
+	s.Backend.SetProbe(s.Probe)
+
+	// Address-space validation: every address the run will ever send to
+	// the backend must classify into a mapped space, so an unmapped
+	// address is a build-time error here rather than a mid-simulation
+	// fault. The workload traces and base images are the only external
+	// address sources (mechanism log regions are carved from the NVMLog
+	// space by construction).
+	for c, out := range s.Outputs {
+		if err := validateAddressSpaces(out); err != nil {
+			return nil, fmt.Errorf("pmemaccel: core %d: %w", c, err)
+		}
+	}
 
 	// Memory images: the post-warmup state is architecturally live and
 	// (for persistent words) already durable. Pre-size for the combined
@@ -89,14 +102,14 @@ func NewSystem(cfg Config) (*System, error) {
 	env := &mechanism.Env{
 		K:       s.Kernel,
 		Cores:   cfg.Cores,
-		Router:  s.Router,
+		Mem:     s.Backend,
 		Live:    s.Live,
 		Durable: s.Durable,
 		TC:      cfg.tcConfig(),
 		Probe:   s.Probe,
 	}
 	s.Mech = mechanism.New(cfg.Mechanism, env)
-	s.Hier = cache.New(s.Kernel, cfg.cacheConfig(), s.Router, s.Mech.Hooks(), cfg.Cores)
+	s.Hier = cache.New(s.Kernel, cfg.cacheConfig(), s.Backend, s.Mech.Hooks(), cfg.Cores)
 	s.Hier.SetProbe(s.Probe)
 	s.Mech.Attach(s.Hier)
 
@@ -111,6 +124,31 @@ func NewSystem(cfg Config) (*System, error) {
 	return s, nil
 }
 
+// validateAddressSpaces rejects a workload whose trace or base image
+// touches an address outside every mapped memory space. The backend's
+// For would report such an address as a run-time fault; catching it here
+// turns a mid-run surprise into a build-time error naming the record.
+func validateAddressSpaces(out *workload.Output) error {
+	var err error
+	out.BaseImage.ForEach(func(addr, _ uint64) {
+		if err == nil && memaddr.Classify(addr) == memaddr.SpaceInvalid {
+			err = fmt.Errorf("base image holds unmapped address %#x", addr)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for i, rec := range out.Trace.Records {
+		switch rec.Kind {
+		case trace.KindLoad, trace.KindStore, trace.KindCLWB, trace.KindCLFlush:
+			if memaddr.Classify(rec.Addr) == memaddr.SpaceInvalid {
+				return fmt.Errorf("trace record %d (%v) touches unmapped address %#x", i, rec.Kind, rec.Addr)
+			}
+		}
+	}
+	return nil
+}
+
 // startSampler registers the time-series sources and the periodic
 // kernel callback that samples them. No-op unless the probe is live and
 // a sampling period is configured.
@@ -118,9 +156,7 @@ func (s *System) startSampler() {
 	if s.Probe == nil || s.Config.Obs.SampleEvery == 0 {
 		return
 	}
-	if tp, ok := s.Mech.(interface {
-		TC(core int) *txcache.TxCache
-	}); ok {
+	if tp, ok := s.Mech.(mechanism.TCIntrospector); ok {
 		for c := 0; c < s.Config.Cores; c++ {
 			s.Probe.AddSource(fmt.Sprintf("tc%d_occupancy", c), tp.TC(c).Occupancy)
 		}
@@ -128,10 +164,7 @@ func (s *System) startSampler() {
 	s.Probe.AddSource("llc_demand_queue", func() int { r, _ := s.Hier.QueueDepths(); return r })
 	s.Probe.AddSource("llc_writeback_queue", func() int { _, w := s.Hier.QueueDepths(); return w })
 	s.Probe.AddSource("llc_inflight_fills", s.Hier.InflightFills)
-	s.Probe.AddSource("nvm_read_queue", s.Router.NVM.PendingReads)
-	s.Probe.AddSource("nvm_write_queue", s.Router.NVM.PendingWrites)
-	s.Probe.AddSource("dram_read_queue", s.Router.DRAM.PendingReads)
-	s.Probe.AddSource("dram_write_queue", s.Router.DRAM.PendingWrites)
+	s.Backend.AddQueueSources(s.Probe)
 	s.Probe.StartSampling(s.Kernel, s.Config.Obs.SampleEvery)
 }
 
@@ -143,7 +176,7 @@ func (s *System) quiesced() bool {
 			return false
 		}
 	}
-	return s.Mech.Drained() && s.Hier.Pending() == 0 && s.Router.Quiescent()
+	return s.Mech.Drained() && s.Hier.Pending() == 0 && s.Backend.Quiescent()
 }
 
 // Run simulates to quiescence and collects the result.
@@ -164,6 +197,13 @@ func (s *System) Run() (*Result, error) {
 	// functional state complete.
 	if _, ok := s.Kernel.RunUntil(s.quiesced, s.Config.MaxCycles); !ok {
 		return nil, fmt.Errorf("pmemaccel: post-run drain exceeded %d cycles", s.Config.MaxCycles)
+	}
+	// An unmapped-address fault is recorded sticky by the backend (the
+	// request completes so the machine drains) and surfaced here; the
+	// build-time address-space validation makes this unreachable for
+	// generated workloads.
+	if err := s.Backend.Fault(); err != nil {
+		return nil, fmt.Errorf("pmemaccel: %w", err)
 	}
 	return s.collect(endOfTrace), nil
 }

@@ -1,0 +1,123 @@
+package pmemaccel
+
+// Multi-channel topology tests: a 4x2 (NVM x DRAM) backend must behave
+// exactly like the 1x1 one semantically — deterministic across repeated
+// and concurrent runs (this file is part of the `go test -race` sweep),
+// invariant under the sweep worker count, and leaving NVM consistent for
+// every guaranteed mechanism.
+
+import (
+	"sync"
+	"testing"
+
+	"pmemaccel/internal/workload"
+)
+
+func multiChannelConfig(b workload.Benchmark, m Kind) Config {
+	cfg := tinyConfig(b, m)
+	cfg.NVMChannels = 4
+	cfg.DRAMChannels = 2
+	// Tiny working sets fit inside one 4 KB block; interleave at a few
+	// lines so the test's traffic actually spans channels.
+	cfg.ChannelInterleaveBytes = 256
+	return cfg
+}
+
+func TestMultiChannelEveryMechanism(t *testing.T) {
+	for _, m := range []Kind{Optimal, SP, TCache, Kiln} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(multiChannelConfig(workload.SPS, m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.TotalTransactions(); got != 400 {
+				t.Fatalf("transactions = %d, want 400", got)
+			}
+			if m != Optimal && res.DurableDiffCount != 0 {
+				t.Fatalf("%d durable diffs after full drain on 4x2 topology", res.DurableDiffCount)
+			}
+			if len(res.PerNVMChannel) != 4 || len(res.PerDRAMChannel) != 2 {
+				t.Fatalf("per-channel stats = %d NVM / %d DRAM, want 4/2",
+					len(res.PerNVMChannel), len(res.PerDRAMChannel))
+			}
+			// The interleave must spread traffic: with 4 KB granularity
+			// and these working sets no channel should be silent while
+			// the space as a whole carries traffic.
+			var sum uint64
+			active := 0
+			for _, s := range res.PerNVMChannel {
+				sum += s.Reads + s.Writes
+				if s.Reads+s.Writes > 0 {
+					active++
+				}
+			}
+			if sum != res.NVM.Reads+res.NVM.Writes {
+				t.Fatalf("per-channel traffic %d != aggregate %d", sum, res.NVM.Reads+res.NVM.Writes)
+			}
+			if sum > 0 && active < 2 {
+				t.Fatalf("only %d of 4 NVM channels saw traffic — interleave not spreading", active)
+			}
+		})
+	}
+}
+
+// TestMultiChannelDeterministic: repeated and concurrent 4x2 runs of
+// every mechanism agree on every headline counter (worker-count
+// invariance reduces to this: the sweep engine only changes which
+// goroutine runs a cell, never the cell's inputs).
+func TestMultiChannelDeterministic(t *testing.T) {
+	mechs := []Kind{Optimal, SP, TCache, Kiln}
+	const copies = 2
+	results := make([][]*Result, copies)
+	var wg sync.WaitGroup
+	for rep := 0; rep < copies; rep++ {
+		results[rep] = make([]*Result, len(mechs))
+		for i, m := range mechs {
+			wg.Add(1)
+			go func(rep, i int, m Kind) {
+				defer wg.Done()
+				res, err := Run(multiChannelConfig(workload.RBTree, m))
+				if err != nil {
+					t.Errorf("%v: %v", m, err)
+					return
+				}
+				results[rep][i] = res
+			}(rep, i, m)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i, m := range mechs {
+		a, b := results[0][i], results[1][i]
+		if a.Cycles != b.Cycles || a.IPC() != b.IPC() ||
+			a.NVMWriteTraffic() != b.NVMWriteTraffic() || a.LLCMissRate != b.LLCMissRate {
+			t.Errorf("%v: concurrent 4x2 runs diverged: %v vs %v", m, a, b)
+		}
+		for c := range a.PerNVMChannel {
+			if a.PerNVMChannel[c] != b.PerNVMChannel[c] {
+				t.Errorf("%v: NVM channel %d stats diverged across runs", m, c)
+			}
+		}
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	cfg := tinyConfig(workload.SPS, TCache)
+	cfg.NVMChannels = -2
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative channel count accepted")
+	}
+	cfg = tinyConfig(workload.SPS, TCache)
+	cfg.ChannelInterleaveBytes = 100 // not a power of two
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("non-power-of-two interleave accepted")
+	}
+	cfg.ChannelInterleaveBytes = 16 // below the line size
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("sub-line interleave accepted")
+	}
+}
