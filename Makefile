@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet staticcheck bench clean ci race-sweep bench-smoke
+.PHONY: all build test race vet staticcheck bench clean ci race-sweep bench-smoke bench-json bench-json-check
 
 all: build test
 
@@ -13,9 +13,10 @@ all: build test
 ci: build vet staticcheck test race-sweep bench-smoke
 
 # Race-mode pass over the packages with goroutines: the parallel sweep
-# engine and the concurrent pmemaccel.Run entry points.
+# engine, the metrics registry it publishes progress/percentiles
+# through, and the concurrent pmemaccel.Run entry points.
 race-sweep:
-	$(GO) test -race ./internal/sweep/ ./internal/figures/ .
+	$(GO) test -race ./internal/sweep/ ./internal/obs/metrics/ ./internal/figures/ .
 
 build:
 	$(GO) build ./...
@@ -52,6 +53,18 @@ bench-speed:
 # (SimulatorSpeedMultiChannel) configurations.
 bench-smoke:
 	$(GO) test -run '^$$' -bench SimulatorSpeed -benchtime 1x .
+
+# Benchmark-trajectory harness: run the simulator-speed benchmarks once
+# with -benchmem and record ns/op, allocs/op and sim_cycles/s per
+# benchmark into BENCH_6.json via cmd/benchjson. The file is committed,
+# so speed regressions show up as diffs.
+bench-json:
+	$(GO) test -run '^$$' -bench SimulatorSpeed -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -o BENCH_6.json
+
+# Validate the committed trajectory record (CI smoke gate).
+bench-json-check:
+	$(GO) run ./cmd/benchjson -check BENCH_6.json
 
 clean:
 	$(GO) clean ./...

@@ -228,6 +228,26 @@ func BenchmarkSimulatorSpeedObs(b *testing.B) {
 	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
 }
 
+// BenchmarkSimulatorSpeedMetrics is BenchmarkSimulatorSpeed with the
+// run-wide metrics registry on (histograms at every probe point, no
+// event trace). The sim_cycles/s delta against the plain bench is the
+// full-metrics overhead — the acceptance bound is <2%, and the
+// disabled path is held to zero allocations by the registry's own
+// AllocsPerRun regression tests.
+func BenchmarkSimulatorSpeedMetrics(b *testing.B) {
+	var simCycles uint64
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(workload.RBTree, TCache)
+		cfg.Obs.Metrics = true
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simCycles += res.Cycles
+	}
+	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+}
+
 func byteLabel(n int) string {
 	if n >= 1024 {
 		return fmt.Sprintf("%dKB", n/1024)

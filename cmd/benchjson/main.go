@@ -1,0 +1,187 @@
+// Command benchjson turns `go test -bench` output into a JSON
+// benchmark-trajectory record, so simulator-speed numbers (ns/op,
+// allocs/op, sim_cycles/s) are diffable across commits instead of
+// scrolling away in CI logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench SimulatorSpeed -benchtime 1x -benchmem . | benchjson -o BENCH_6.json
+//	benchjson -check BENCH_6.json     # validate an existing record
+//
+// The parser accepts the standard benchmark line shape — name,
+// iteration count, then (value, unit) pairs — and keeps every unit it
+// sees, including custom b.ReportMetric units. Non-benchmark lines
+// (PASS, ok, goos/goarch headers) pass through to stderr so the human
+// still sees the run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// schemaVersion guards downstream consumers: bump it when the file
+// shape changes.
+const schemaVersion = 1
+
+// File is the trajectory record: one entry per benchmark run.
+type File struct {
+	Schema     int     `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	GoOS       string  `json:"goos"`
+	GoArch     string  `json:"goarch"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark's measurements. Metrics maps unit to value
+// ("ns/op", "allocs/op", "sim_cycles/s", ...).
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var (
+		out   = flag.String("o", "", "write the JSON record to this file (empty = stdout)")
+		check = flag.String("check", "", "validate an existing record instead of parsing benchmark output")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchjson: %s ok\n", *check)
+		return
+	}
+
+	f, err := parse(os.Stdin, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(f.Benchmarks))
+}
+
+// parse reads benchmark output from r, echoing non-benchmark lines to
+// echo, and returns the structured record.
+func parse(r io.Reader, echo io.Writer) (*File, error) {
+	f := &File{
+		Schema:    schemaVersion,
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		b, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintln(echo, line)
+			continue
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark lines on stdin (pipe `go test -bench ...` output in)")
+	}
+	return f, nil
+}
+
+// parseLine parses one `BenchmarkName-8  N  v1 u1  v2 u2 ...` line.
+// The -P GOMAXPROCS suffix is stripped from the name so records diff
+// cleanly across machines.
+func parseLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Bench{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || iters <= 0 {
+		return Bench{}, false
+	}
+	b := Bench{Name: strings.TrimPrefix(name, "Benchmark"), Iterations: iters,
+		Metrics: make(map[string]float64)}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Bench{}, false
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	if _, ok := b.Metrics["ns/op"]; !ok {
+		return Bench{}, false
+	}
+	return b, true
+}
+
+// checkFile validates a committed record: parseable JSON of the right
+// schema, at least one benchmark, every benchmark named with positive
+// iterations and an ns/op measurement. It is the CI smoke gate for
+// BENCH_6.json.
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	if f.Schema != schemaVersion {
+		return fmt.Errorf("benchjson: %s: schema %d, want %d", path, f.Schema, schemaVersion)
+	}
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: %s: no benchmarks", path)
+	}
+	for i, b := range f.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("benchjson: %s: benchmark %d has no name", path, i)
+		}
+		if b.Iterations <= 0 {
+			return fmt.Errorf("benchjson: %s: %s: iterations = %d", path, b.Name, b.Iterations)
+		}
+		if _, ok := b.Metrics["ns/op"]; !ok {
+			return fmt.Errorf("benchjson: %s: %s: missing ns/op", path, b.Name)
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseBenchOutput feeds a realistic `go test -bench -benchmem`
+// transcript through the parser: benchmark lines become records with
+// every (value, unit) pair kept, headers and the trailer echo through.
+func TestParseBenchOutput(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: pmemaccel",
+		"BenchmarkSimulatorSpeed-8                1        60707156 ns/op         59404232 sim_cycles/s        35400960 B/op     121657 allocs/op",
+		"BenchmarkSimulatorSpeedMetrics-8         1        61234567 ns/op         58900000 sim_cycles/s        35500000 B/op     121900 allocs/op",
+		"PASS",
+		"ok      pmemaccel       1.234s",
+	}, "\n")
+	var echo bytes.Buffer
+	f, err := parse(strings.NewReader(in), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(f.Benchmarks))
+	}
+	b := f.Benchmarks[0]
+	if b.Name != "SimulatorSpeed" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix and Benchmark prefix stripped", b.Name)
+	}
+	if b.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", b.Iterations)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 60707156, "sim_cycles/s": 59404232,
+		"B/op": 35400960, "allocs/op": 121657,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("metrics[%q] = %v, want %v", unit, got, want)
+		}
+	}
+	for _, line := range []string{"goos: linux", "PASS", "ok      pmemaccel"} {
+		if !strings.Contains(echo.String(), line) {
+			t.Errorf("non-benchmark line %q not echoed", line)
+		}
+	}
+}
+
+// TestParseRejectsEmptyInput: piping in a run with no benchmark lines
+// (wrong -bench pattern) must fail loudly, not write an empty record.
+func TestParseRejectsEmptyInput(t *testing.T) {
+	_, err := parse(strings.NewReader("PASS\nok pmemaccel 0.1s\n"), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "no benchmark lines") {
+		t.Fatalf("err = %v, want a no-benchmarks error", err)
+	}
+}
+
+// TestParseLineMalformed covers the shapes that must not parse as
+// benchmarks: odd value/unit pairing, non-numeric counts, and lines
+// without an ns/op measurement.
+func TestParseLineMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX-8 1 100 ns/op extra",             // odd pair
+		"BenchmarkX-8 zero 100 ns/op",                // bad iteration count
+		"BenchmarkX-8 1 100 sim_cycles/s 5 B/op",     // no ns/op
+		"Benchmark output: BenchmarkX-8 1 100 x y z", // prose mentioning a benchmark
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}
+
+// TestCheckFile round-trips a record through the validator and checks
+// the validator rejects the failure modes CI guards against.
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, f File) string {
+		data, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := File{Schema: schemaVersion, Benchmarks: []Bench{
+		{Name: "SimulatorSpeed", Iterations: 1, Metrics: map[string]float64{"ns/op": 1e8}},
+	}}
+	if err := checkFile(write("good.json", good)); err != nil {
+		t.Errorf("valid record rejected: %v", err)
+	}
+	for name, bad := range map[string]File{
+		"schema.json": {Schema: schemaVersion + 1, Benchmarks: good.Benchmarks},
+		"empty.json":  {Schema: schemaVersion},
+		"noname.json": {Schema: schemaVersion, Benchmarks: []Bench{
+			{Iterations: 1, Metrics: map[string]float64{"ns/op": 1}}}},
+		"nonsop.json": {Schema: schemaVersion, Benchmarks: []Bench{
+			{Name: "X", Iterations: 1, Metrics: map[string]float64{"B/op": 1}}}},
+	} {
+		if err := checkFile(write(name, bad)); err == nil {
+			t.Errorf("%s: invalid record accepted", name)
+		}
+	}
+	if err := checkFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

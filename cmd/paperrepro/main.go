@@ -22,6 +22,7 @@ import (
 	"pmemaccel"
 	"pmemaccel/internal/figures"
 	"pmemaccel/internal/hwcost"
+	"pmemaccel/internal/prof"
 	"pmemaccel/internal/sweep"
 	"pmemaccel/internal/workload"
 )
@@ -43,8 +44,29 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		jobs      = flag.Int("j", 0, "concurrent grid cells (0 = all cores); output is identical for every -j")
 		noFF      = flag.Bool("no-ff", false, "disable quiescence fast-forward (step every cycle; same results, slower)")
+		progress  = flag.Bool("progress", false, "render a live one-line grid status (cells/s, busy workers, ETA) instead of per-cell results")
+		metrics   = flag.Bool("metrics", false, "enable the per-run metrics registry and print latency-percentile tables after the figures")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof format) to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := prof.StartCPU(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := prof.WriteHeap(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			}
+		}()
+	}
 
 	if *table1 {
 		fmt.Print(hwcost.Config{
@@ -77,16 +99,26 @@ func main() {
 		cfg.DRAMChannels = *dramChans
 		cfg.Seed = *seed
 		cfg.NoFastForward = *noFF
+		cfg.Obs.Metrics = *metrics
 		return cfg
 	}
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "running %d x %d grid on %d workers...\n",
 		len(workload.All), len(figures.Mechs), sweep.Workers(*jobs))
-	grid, err := figures.RunParallel(workload.All, figures.Mechs, configure,
-		func(b workload.Benchmark, m pmemaccel.Kind, r *pmemaccel.Result) {
-			fmt.Fprintf(os.Stderr, "  %v\n", r)
-		}, *jobs)
+	// -progress replaces the per-cell result lines with a single
+	// in-place status line; the two share stderr and would clobber each
+	// other.
+	perCell := func(b workload.Benchmark, m pmemaccel.Kind, r *pmemaccel.Result) {
+		fmt.Fprintf(os.Stderr, "  %v\n", r)
+	}
+	var onProgress func(sweep.Progress)
+	if *progress {
+		perCell = nil
+		onProgress = sweep.StderrProgress(os.Stderr, "grid")
+	}
+	grid, err := figures.RunParallelWithProgress(workload.All, figures.Mechs, configure,
+		perCell, onProgress, *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperrepro:", err)
 		os.Exit(1)
@@ -118,6 +150,10 @@ func main() {
 	}
 	if *stalls || *fig == 0 {
 		fmt.Print(grid.StallTable())
+		fmt.Println()
+	}
+	if *metrics {
+		fmt.Print(grid.TxLatencyP99().Table())
 		fmt.Println()
 	}
 	fmt.Print(grid.Summary())

@@ -25,6 +25,7 @@ import (
 	"pmemaccel"
 	"pmemaccel/internal/cpu"
 	"pmemaccel/internal/mechanism"
+	"pmemaccel/internal/prof"
 	"pmemaccel/internal/workload"
 )
 
@@ -42,16 +43,35 @@ func main() {
 		nvmChans   = flag.Int("nvm-channels", 0, "address-interleaved NVM channels (0 = 1)")
 		dramChans  = flag.Int("dram-channels", 0, "address-interleaved DRAM channels (0 = 1)")
 		interleave = flag.Int("interleave", 0, "channel interleave granularity in bytes, power of two (0 = 4096)")
-		paper     = flag.Bool("paper", false, "use the full Table 2 machine (Scale 1; slow)")
-		verbose   = flag.Bool("v", false, "print per-core and subsystem detail")
-		asJSON    = flag.Bool("json", false, "emit the result as JSON")
+		paper      = flag.Bool("paper", false, "use the full Table 2 machine (Scale 1; slow)")
+		verbose    = flag.Bool("v", false, "print per-core and subsystem detail")
+		asJSON     = flag.Bool("json", false, "emit the result as JSON")
 
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON to this file (enables observability)")
 		metricsOut  = flag.String("metrics-out", "", "write a sampled time-series CSV to this file (enables observability)")
 		sampleEvery = flag.Uint64("sample-every", 1000, "sampling period in cycles for -metrics-out")
+		metrics     = flag.Bool("metrics", false, "enable the run-wide metrics registry and print its percentile table")
 		noFF        = flag.Bool("no-ff", false, "disable quiescence fast-forward (step every cycle; same results, slower)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof format) to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := prof.StartCPU(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := prof.WriteHeap(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, "pmemsim:", err)
+			}
+		}()
+	}
 
 	b, err := workload.ParseBenchmark(*benchName)
 	if err != nil {
@@ -91,6 +111,7 @@ func main() {
 			cfg.Obs.SampleEvery = *sampleEvery
 		}
 	}
+	cfg.Obs.Metrics = *metrics
 	// Validate here, before the (possibly long) run, so a bad flag
 	// combination fails with the specific complaint instead of deep in
 	// construction.
@@ -131,6 +152,9 @@ func main() {
 	}
 	fmt.Println(res)
 	fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	if res.Metrics != nil {
+		fmt.Printf("\n%s", res.Metrics.Table())
+	}
 
 	if *verbose {
 		fmt.Printf("\nL1 miss %.2f%%  L2 miss %.2f%%  LLC miss %.2f%%\n",

@@ -1,12 +1,16 @@
 // Command tracedump prints a workload's memory-reference trace — and,
 // with -mech sp, the trace as the software-logging rewriter transforms it
-// — for inspection and debugging.
+// — for inspection and debugging. With -trace it instead reads a Chrome
+// trace_event JSON written by pmemsim -trace-out, filtering by event
+// kind and summarizing per-kind duration percentiles.
 //
 // Usage:
 //
 //	tracedump -bench rbtree -n 60
 //	tracedump -bench sps -mech sp -n 80      # see the injected logging
 //	tracedump -bench btree -stats            # composition summary only
+//	tracedump -trace run.json -summary       # per-kind duration percentiles
+//	tracedump -trace run.json -kind tc-drain -n 20
 package main
 
 import (
@@ -18,6 +22,8 @@ import (
 	"pmemaccel/internal/memaddr"
 	"pmemaccel/internal/memctrl"
 	"pmemaccel/internal/memimage"
+	"pmemaccel/internal/obs"
+	"pmemaccel/internal/obs/metrics"
 	"pmemaccel/internal/sim"
 	"pmemaccel/internal/trace"
 	"pmemaccel/internal/txcache"
@@ -34,8 +40,22 @@ func main() {
 		ops       = flag.Int("ops", 20, "measured operations")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		statsOnly = flag.Bool("stats", false, "print composition summary only")
+
+		traceFile = flag.String("trace", "", "read a Chrome trace JSON (pmemsim -trace-out) instead of generating a workload trace")
+		kind      = flag.String("kind", "", "with -trace: keep only events of this kind (e.g. tx, tc-drain, wpq-drain)")
+		summary   = flag.Bool("summary", false, "with -trace: print per-kind counts and duration percentiles")
 	)
 	flag.Parse()
+
+	if *traceFile != "" {
+		if err := dumpChromeTrace(*traceFile, *kind, *summary, *n, *skip); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *kind != "" || *summary {
+		fatal(fmt.Errorf("-kind and -summary need -trace <file>"))
+	}
 
 	b, err := workload.ParseBenchmark(*benchName)
 	if err != nil {
@@ -117,6 +137,66 @@ func format(r trace.Record) string {
 	default:
 		return fmt.Sprintf("%+v", r)
 	}
+}
+
+// dumpChromeTrace reads an exported event trace back and either lists
+// its events (filtered by kind, honoring -skip/-n) or renders the
+// per-kind summary: spans aggregate into duration histograms —
+// count/mean/p50/p90/p99/max rows via the metrics package — and
+// instants into counters.
+func dumpChromeTrace(path, kind string, summary bool, n, skip int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	data, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		return err
+	}
+	events := data.Events
+	if kind != "" {
+		kept := events[:0]
+		for _, e := range events {
+			if e.Name == kind {
+				kept = append(kept, e)
+			}
+		}
+		events = kept
+		if len(events) == 0 {
+			return fmt.Errorf("%s has no %q events", path, kind)
+		}
+	}
+
+	if summary {
+		reg := metrics.NewRegistry()
+		for _, e := range events {
+			if e.Span() {
+				reg.Histogram(e.Name).Observe(e.Dur)
+			} else {
+				reg.Counter(e.Name).Inc()
+			}
+		}
+		fmt.Printf("%s: %d events", path, len(events))
+		if d := data.OtherData["dropped"]; d != "" && d != "0" {
+			fmt.Printf(" (ring dropped %s — this is a suffix of the run)", d)
+		}
+		fmt.Printf("\nspan durations in cycles; instants listed as counters\n\n")
+		fmt.Print(reg.Snapshot().Table())
+		return nil
+	}
+
+	for i := skip; i < len(events) && i < skip+n; i++ {
+		e := events[i]
+		if e.Span() {
+			fmt.Printf("%5d  %12d +%-8d %-14s pid=%d tid=%d id=%d arg=%d\n",
+				i, e.Ts, e.Dur, e.Name, e.Pid, e.Tid, e.Args["id"], e.Args["arg"])
+		} else {
+			fmt.Printf("%5d  %12d %-9s %-14s pid=%d tid=%d id=%d arg=%d\n",
+				i, e.Ts, "instant", e.Name, e.Pid, e.Tid, e.Args["id"], e.Args["arg"])
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

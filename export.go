@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 
 	"pmemaccel/internal/cpu"
+	"pmemaccel/internal/obs/metrics"
 )
 
 // Export is the JSON-friendly projection of a Result, for downstream
@@ -51,6 +52,18 @@ type Export struct {
 	// Attribution is the all-core cycle breakdown as percentages of the
 	// performance window, keyed by cpu.BreakdownCategories.
 	Attribution map[string]float64 `json:"cycle_attribution_pct"`
+
+	// Metrics is the run-wide metrics snapshot — histogram percentiles,
+	// counters, gauges. Present only when the run enabled
+	// Config.Obs.Metrics.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+
+	// Event-trace ring accounting (zero/absent when observability is
+	// off): a nonzero dropped count flags a trace export that holds
+	// only a suffix of the run.
+	ObsEventsRecorded   uint64 `json:"obs_events_recorded,omitempty"`
+	ObsEventsDropped    uint64 `json:"obs_events_dropped,omitempty"`
+	ObsOpenSpansFlushed uint64 `json:"obs_open_spans_flushed,omitempty"`
 }
 
 // Export builds the JSON projection.
@@ -83,6 +96,11 @@ func (r *Result) Export() Export {
 		NVMWearMax:       r.NVMWearMax,
 		NVMWearHotness:   r.NVMWearHotness,
 		DurableDiffCount: r.DurableDiffCount,
+
+		Metrics:             r.Metrics,
+		ObsEventsRecorded:   r.ObsEventsRecorded,
+		ObsEventsDropped:    r.ObsEventsDropped,
+		ObsOpenSpansFlushed: r.ObsOpenSpansFlushed,
 	}
 	if len(r.PerNVMChannel) > 1 {
 		e.NVMChannelWrites = make([]uint64, len(r.PerNVMChannel))

@@ -5,6 +5,7 @@ import (
 
 	"pmemaccel/internal/memaddr"
 	"pmemaccel/internal/obs"
+	"pmemaccel/internal/obs/metrics"
 	"pmemaccel/internal/sim"
 )
 
@@ -189,6 +190,13 @@ type Hierarchy struct {
 	// probe is the observability recorder (nil when disabled).
 	probe *obs.Probe
 
+	// hSideHitLat streams the fill latency of LLC misses whose
+	// side-path probe hit the transaction cache (nil when metrics are
+	// disabled). The side path holds words, not lines, so the fill
+	// still completes at memory latency — the histogram quantifies
+	// exactly that: what a "TC hit" costs the loading core.
+	hSideHitLat *metrics.Histogram
+
 	stats Stats
 }
 
@@ -228,6 +236,10 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 
 // SetProbe attaches the observability recorder (nil disables probing).
 func (h *Hierarchy) SetProbe(p *obs.Probe) { h.probe = p }
+
+// SetMetrics attaches the side-probe hit-latency histogram (nil
+// disables the observation).
+func (h *Hierarchy) SetMetrics(sideHitLat *metrics.Histogram) { h.hSideHitLat = sideHitLat }
 
 // Pending reports outstanding LLC-queue entries plus in-flight memory
 // fills, for quiescence checks.
@@ -437,6 +449,19 @@ func (h *Hierarchy) serveLLCRead(req llcReq) {
 		}
 		if h.probe != nil { // guard: this site is per-LLC-miss hot
 			h.probe.Instant(obs.KSideProbe, -1, req.lineAddr, h.k.Now(), hit)
+		}
+		if h.hSideHitLat != nil && hit == 1 {
+			// Metrics-enabled side-hit fill: identical timing to the
+			// plain path below, plus a latency observation when the
+			// data returns.
+			start := h.k.Now()
+			h.k.Schedule(h.cfg.LLCLatency, func() {
+				h.mem.Read(req.lineAddr, func() {
+					h.hSideHitLat.Observe(h.k.Now() - start)
+					h.completeFill(req.lineAddr, Line{Addr: req.lineAddr, Valid: true}, true)
+				})
+			})
+			return
 		}
 	}
 	h.k.Schedule(h.cfg.LLCLatency, func() {

@@ -12,6 +12,7 @@ import (
 	"pmemaccel/internal/cache"
 	"pmemaccel/internal/memaddr"
 	"pmemaccel/internal/obs"
+	"pmemaccel/internal/obs/metrics"
 	"pmemaccel/internal/sim"
 	"pmemaccel/internal/trace"
 )
@@ -193,6 +194,12 @@ type Core struct {
 	probe   *obs.Probe
 	txStart uint64
 
+	// hTxLat and hCommitWait stream per-transaction latencies into the
+	// metrics registry (nil when metrics are disabled — same
+	// nil-pointer discipline as probe).
+	hTxLat      *metrics.Histogram
+	hCommitWait *metrics.Histogram
+
 	stats Stats
 }
 
@@ -214,6 +221,14 @@ func (c *Core) ID() int { return c.id }
 
 // SetProbe attaches the observability recorder (nil disables probing).
 func (c *Core) SetProbe(p *obs.Probe) { c.probe = p }
+
+// SetMetrics attaches the streaming histograms for transaction latency
+// (TX_BEGIN retirement to commit completion) and commit-wait stalls
+// (TX_END to mechanism resume). Nil histograms disable the observations.
+func (c *Core) SetMetrics(txLat, commitWait *metrics.Histogram) {
+	c.hTxLat = txLat
+	c.hCommitWait = commitWait
+}
 
 // Stats returns a copy of the counters.
 func (c *Core) Stats() Stats { return c.stats }
@@ -381,6 +396,8 @@ func (c *Core) Tick(now uint64) {
 				end := c.k.Now()
 				c.probe.Span(obs.KCommitWait, c.id, id, now, end, 0)
 				c.probe.Span(obs.KTx, c.id, id, txStart, end, 0)
+				c.hCommitWait.Observe(end - now)
+				c.hTxLat.Observe(end - txStart)
 				c.finishCheck()
 			}) {
 				c.commitWait = true
@@ -389,6 +406,8 @@ func (c *Core) Tick(now uint64) {
 			}
 			c.stats.Transactions++
 			c.probe.Span(obs.KTx, c.id, id, txStart, now, 0)
+			c.hCommitWait.Observe(0)
+			c.hTxLat.Observe(now - txStart)
 			budget--
 
 		case trace.KindCLWB, trace.KindCLFlush:

@@ -9,6 +9,7 @@ import (
 
 	"pmemaccel"
 	"pmemaccel/internal/cpu"
+	"pmemaccel/internal/obs/metrics"
 	"pmemaccel/internal/stats"
 	"pmemaccel/internal/sweep"
 	"pmemaccel/internal/workload"
@@ -45,6 +46,19 @@ func RunParallel(benchs []workload.Benchmark, mechs []pmemaccel.Kind,
 	configure func(workload.Benchmark, pmemaccel.Kind) pmemaccel.Config,
 	progress func(workload.Benchmark, pmemaccel.Kind, *pmemaccel.Result),
 	workers int) (*Grid, error) {
+	return RunParallelWithProgress(benchs, mechs, configure, progress, nil, workers)
+}
+
+// RunParallelWithProgress is RunParallel plus a live sweep-progress
+// consumer (see sweep.RunWithProgress): onProgress (may be nil) fires
+// after every cell completes, serialized with the per-cell progress
+// callback, carrying cells-done/total, busy workers, throughput and
+// ETA — the feed behind paperrepro's -progress flag.
+func RunParallelWithProgress(benchs []workload.Benchmark, mechs []pmemaccel.Kind,
+	configure func(workload.Benchmark, pmemaccel.Kind) pmemaccel.Config,
+	progress func(workload.Benchmark, pmemaccel.Kind, *pmemaccel.Result),
+	onProgress func(sweep.Progress),
+	workers int) (*Grid, error) {
 
 	type cell struct {
 		b   workload.Benchmark
@@ -58,7 +72,7 @@ func RunParallel(benchs []workload.Benchmark, mechs []pmemaccel.Kind,
 		}
 	}
 
-	results, err := sweep.Run(len(cells), workers,
+	results, err := sweep.RunWithProgress(len(cells), workers,
 		func(i int) (*pmemaccel.Result, error) {
 			c := cells[i]
 			res, err := pmemaccel.Run(c.cfg)
@@ -75,7 +89,7 @@ func RunParallel(benchs []workload.Benchmark, mechs []pmemaccel.Kind,
 			if progress != nil {
 				progress(cells[i].b, cells[i].m, res)
 			}
-		})
+		}, onProgress)
 	if err != nil {
 		return nil, err
 	}
@@ -228,6 +242,51 @@ func ChannelSweep(bench workload.Benchmark, mechs []pmemaccel.Kind, counts []int
 		s.Set(fmt.Sprintf("%dch", c.n), c.m.String(), results[i].Throughput())
 	}
 	return s, nil
+}
+
+// MetricsTable renders the full run-wide metrics snapshot of every grid
+// cell that carried one (runs configured with Obs.Metrics): counters,
+// gauges, and each histogram's count/mean/p50/p90/p99/max row. Cells
+// without a snapshot are skipped; the empty string means no cell had
+// metrics enabled.
+func (g *Grid) MetricsTable() string {
+	var b strings.Builder
+	for _, bench := range g.Benchs {
+		for _, m := range g.Mechs {
+			r := g.Results[bench][m]
+			if r == nil || r.Metrics == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%v/%v\n%s\n", bench, m, r.Metrics.Table())
+		}
+	}
+	return b.String()
+}
+
+// HistogramSeries extracts one value from a named histogram across the
+// grid — e.g. tx_latency_cycles p99 per benchmark and mechanism, the
+// tail-latency companion to Figure 6's mean-driven IPC. value selects
+// the statistic from the snapshot row; cells without the histogram (or
+// without metrics at all) report zero.
+func (g *Grid) HistogramSeries(title, name string,
+	value func(metrics.HistogramSnapshot) float64) *stats.Series {
+	return g.series(title, func(r *pmemaccel.Result) float64 {
+		if r.Metrics == nil {
+			return 0
+		}
+		h := r.Metrics.Histogram(name)
+		if h == nil {
+			return 0
+		}
+		return value(*h)
+	})
+}
+
+// TxLatencyP99 is the transaction-latency tail table: p99 cycles from
+// commit-request to durable-commit resume, per benchmark and mechanism.
+func (g *Grid) TxLatencyP99() *stats.Series {
+	return g.HistogramSeries("Transaction latency p99 (cycles)", "tx_latency_cycles",
+		func(h metrics.HistogramSnapshot) float64 { return float64(h.P99) })
 }
 
 // Summary renders the headline comparison the paper's abstract quotes:

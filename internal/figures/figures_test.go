@@ -243,3 +243,50 @@ func TestChannelSweepWorkerInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestMetricsTableAndPercentileSeries runs a metrics-enabled grid and
+// checks the two metrics renderings: MetricsTable emits one snapshot
+// block per cell, and the TxLatencyP99 series is positive everywhere
+// (every mechanism commits transactions) with histogram rows agreeing
+// with the cell's own snapshot.
+func TestMetricsTableAndPercentileSeries(t *testing.T) {
+	configure := func(b workload.Benchmark, m pmemaccel.Kind) pmemaccel.Config {
+		cfg := pmemaccel.DefaultConfig(b, m)
+		cfg.Cores = 2
+		cfg.Scale = 256
+		cfg.InitialSize = 500
+		cfg.Ops = 150
+		cfg.Obs.Metrics = true
+		return cfg
+	}
+	g, err := Run([]workload.Benchmark{workload.SPS}, Mechs, configure, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := g.MetricsTable()
+	for _, want := range []string{"sps/tcache", "tx_latency_cycles", "p99", "nvm_writes"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("metrics table missing %q", want)
+		}
+	}
+	s := g.TxLatencyP99()
+	for _, m := range Mechs {
+		v := s.Get("sps", m.String())
+		if v <= 0 {
+			t.Errorf("tx latency p99 for %v = %v, want > 0", m, v)
+		}
+		want := g.Results[workload.SPS][m].Metrics.Histogram("tx_latency_cycles")
+		if want != nil && v != float64(want.P99) {
+			t.Errorf("series p99 %v != snapshot p99 %d for %v", v, want.P99, m)
+		}
+	}
+
+	// A metrics-free grid renders an empty table and a zero series.
+	plain := smallGrid(t)
+	if got := plain.MetricsTable(); got != "" {
+		t.Errorf("metrics-free grid rendered a table: %q", got)
+	}
+	if v := plain.TxLatencyP99().Get("sps", "tcache"); v != 0 {
+		t.Errorf("metrics-free grid p99 = %v, want 0", v)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"pmemaccel/internal/memaddr"
 	"pmemaccel/internal/memimage"
 	"pmemaccel/internal/obs"
+	"pmemaccel/internal/obs/metrics"
 	"pmemaccel/internal/sim"
 	"pmemaccel/internal/trace"
 	"pmemaccel/internal/txcache"
@@ -133,6 +134,11 @@ type Env struct {
 	// per-core transaction caches); their own behaviour is traced
 	// through the core (commit-wait spans) and hierarchy (flush spans).
 	Probe *obs.Probe
+	// Metrics is the run-wide metrics registry, nil when disabled.
+	// Mechanisms wire the components they build into it (the TCache's
+	// drain-burst histograms, its fall-back counter); a nil registry
+	// hands out nil metrics, the zero-overhead path.
+	Metrics *metrics.Registry
 }
 
 // Mechanism is the strategy interface.

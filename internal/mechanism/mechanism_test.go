@@ -23,9 +23,9 @@ func testEnv(t *testing.T) *Env {
 		t.Fatal(err)
 	}
 	return &Env{
-		K:     k,
-		Cores: 2,
-		Mem:   backend,
+		K:       k,
+		Cores:   2,
+		Mem:     backend,
 		Live:    memimage.New(),
 		Durable: memimage.New(),
 		TC:      txcache.Config{SizeBytes: 8 * 64, EntryBytes: 64},

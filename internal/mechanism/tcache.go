@@ -7,6 +7,7 @@ import (
 	"pmemaccel/internal/cpu"
 	"pmemaccel/internal/memaddr"
 	"pmemaccel/internal/memimage"
+	"pmemaccel/internal/obs/metrics"
 	"pmemaccel/internal/trace"
 	"pmemaccel/internal/txcache"
 )
@@ -40,6 +41,9 @@ type tcMech struct {
 
 	// FallbackTxs counts transactions that overflowed to the COW path.
 	FallbackTxs uint64
+	// cFallback mirrors FallbackTxs into the metrics registry (nil
+	// when metrics are disabled).
+	cFallback *metrics.Counter
 }
 
 func newTCache(env *Env) Mechanism {
@@ -53,6 +57,7 @@ func newTCache(env *Env) Mechanism {
 		fbCommit:      make([]func(), env.Cores),
 		shadow:        memaddr.Partition(memaddr.NVMLogBase, 1<<36, env.Cores),
 		shadowCursor:  make([]uint64, env.Cores),
+		cFallback:     env.Metrics.Counter("tc_fallback_txs"),
 	}
 	for c := range m.shadowCursor {
 		m.shadowCursor[c] = m.shadow[c].Base
@@ -61,6 +66,13 @@ func newTCache(env *Env) Mechanism {
 	for c := 0; c < env.Cores; c++ {
 		tc := txcache.New(env.K, env.TC, env.Mem, durableApply)
 		tc.SetProbe(env.Probe, c)
+		// Drain-burst histograms are run-wide (shared across cores):
+		// the paper's claim is about the burst distribution, not any
+		// one core's. A nil registry hands out nil histograms.
+		tc.SetMetrics(
+			env.Metrics.Histogram("tc_drain_burst_entries"),
+			env.Metrics.Histogram("tc_drain_burst_cycles"),
+		)
 		m.tcs = append(m.tcs, tc)
 	}
 	return m
@@ -127,6 +139,7 @@ func (m *tcMech) Store(core int, txID uint64, addr, value uint64) cpu.StoreActio
 		m.fbActive[core] = true
 		m.fbTx[core] = txID
 		m.FallbackTxs++
+		m.cFallback.Inc()
 		// The whole transaction moves to the copy-on-write path: its
 		// TC-resident entries are evicted into the shadow first (in
 		// program order), so no word of this transaction has updates

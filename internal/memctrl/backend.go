@@ -2,9 +2,11 @@ package memctrl
 
 import (
 	"fmt"
+	"strings"
 
 	"pmemaccel/internal/memaddr"
 	"pmemaccel/internal/obs"
+	"pmemaccel/internal/obs/metrics"
 	"pmemaccel/internal/sim"
 )
 
@@ -218,6 +220,21 @@ func (b *Backend) SetProbe(p *obs.Probe) {
 	}
 	for i, c := range b.dram {
 		c.SetProbe(p, len(b.nvm)+i)
+	}
+}
+
+// SetMetrics wires every channel's write-drain histograms into the
+// registry, one pair per channel keyed by the channel's (lowercased)
+// name: "wpq_drain_cycles_nvm0", "wpq_drain_writes_nvm0", ... — for the
+// 1x1 topology simply "..._nvm" and "..._dram". A nil registry hands
+// the controllers nil histograms, the disabled path.
+func (b *Backend) SetMetrics(reg *metrics.Registry) {
+	for _, c := range append(append([]*Controller{}, b.nvm...), b.dram...) {
+		name := strings.ToLower(c.cfg.Name)
+		c.SetMetrics(
+			reg.Histogram("wpq_drain_cycles_"+name),
+			reg.Histogram("wpq_drain_writes_"+name),
+		)
 	}
 }
 

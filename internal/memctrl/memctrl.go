@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"pmemaccel/internal/obs"
+	"pmemaccel/internal/obs/metrics"
 	"pmemaccel/internal/sim"
 )
 
@@ -150,6 +151,12 @@ type Controller struct {
 	drainStart  uint64
 	drainWrites uint64
 
+	// hDrainCycles/hDrainWrites stream each closed write-drain window's
+	// duration and write count into the metrics registry (nil when
+	// disabled).
+	hDrainCycles *metrics.Histogram
+	hDrainWrites *metrics.Histogram
+
 	stats Stats
 	wear  *Wear
 }
@@ -176,6 +183,14 @@ func (c *Controller) SetProbe(p *obs.Probe, chanID int) {
 				c.stats.Writes-c.drainWrites)
 		}
 	})
+}
+
+// SetMetrics attaches the write-drain histograms: window duration in
+// cycles and writes issued per window. Nil histograms disable the
+// observations; only windows that close are observed.
+func (c *Controller) SetMetrics(drainCycles, drainWrites *metrics.Histogram) {
+	c.hDrainCycles = drainCycles
+	c.hDrainWrites = drainWrites
 }
 
 // Config returns the (defaulted) configuration.
@@ -337,6 +352,8 @@ func (c *Controller) Tick(now uint64) {
 		c.draining = false
 		c.probe.Span(obs.KWPQDrain, c.chanID, 0, c.drainStart, now,
 			c.stats.Writes-c.drainWrites)
+		c.hDrainCycles.Observe(now - c.drainStart)
+		c.hDrainWrites.Observe(c.stats.Writes - c.drainWrites)
 	}
 }
 

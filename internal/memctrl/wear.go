@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"pmemaccel/internal/obs/metrics"
 )
 
 // Wear tracks per-line write counts on a channel — endurance analysis for
@@ -75,6 +77,20 @@ func (w *Wear) Hotness() float64 {
 		return 0
 	}
 	return float64(w.MaxLineWrites()) / mean
+}
+
+// FillHistogram streams the per-line write-count distribution into h:
+// one observation per touched line, valued at that line's write count.
+// The result is the wear distribution the per-line studies ask for —
+// p50/p99/max writes-per-line — computed once at collection time (wear
+// counts are only final at end of run, so this is not a hot path).
+func (w *Wear) FillHistogram(h *metrics.Histogram) {
+	if h == nil {
+		return
+	}
+	for _, c := range w.counts {
+		h.Observe(c)
+	}
 }
 
 // TopLines returns the n hottest lines, hottest first.

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeEvent is one data event read back from a trace_event JSON file
+// (the object form WriteChromeTrace emits). Ts and Dur are in the
+// file's microsecond unit — for traces this simulator wrote, one
+// microsecond is one cycle.
+type ChromeEvent struct {
+	Name     string
+	Ph       string
+	Ts, Dur  uint64
+	Pid, Tid int
+	Args     map[string]uint64
+}
+
+// Span reports whether the event is a complete ("X") slice carrying a
+// duration, as opposed to an instant or counter sample.
+func (e ChromeEvent) Span() bool { return e.Ph == "X" }
+
+// ChromeTraceData is a parsed trace file: the data events in file
+// order, plus the writer's OtherData metadata (for our own traces:
+// time_unit, recorded, dropped, open_flushed).
+type ChromeTraceData struct {
+	Events    []ChromeEvent
+	OtherData map[string]string
+}
+
+// ReadChromeTrace parses trace_event JSON from r. Metadata ("M")
+// events — process/thread names — are consumed but not returned; data
+// events keep their numeric args when present. The reader accepts any
+// object-form trace, not only ours, so tracedump can summarize traces
+// post-processed by other tools.
+func ReadChromeTrace(r io.Reader) (*ChromeTraceData, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Ts   uint64          `json:"ts"`
+			Dur  uint64          `json:"dur"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("obs: parsing chrome trace: %w", err)
+	}
+	out := &ChromeTraceData{OtherData: doc.OtherData}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		ev := ChromeEvent{Name: e.Name, Ph: e.Ph, Ts: e.Ts, Dur: e.Dur, Pid: e.Pid, Tid: e.Tid}
+		if len(e.Args) > 0 {
+			// Best-effort: our data events carry numeric args; other
+			// writers' string args are simply omitted.
+			_ = json.Unmarshal(e.Args, &ev.Args)
+		}
+		out.Events = append(out.Events, ev)
+	}
+	return out, nil
+}

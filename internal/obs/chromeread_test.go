@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestChromeTraceRoundTrip writes a probe's events as Chrome trace JSON
+// and reads them back: every recorded span and instant survives with
+// its name, timing and args, metadata rows are filtered out, and the
+// writer's OtherData accounting comes through.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	p := NewProbe(64)
+	p.Span(KTx, 0, 1, 100, 250, 7)
+	p.Span(KTCDrain, 1, 2, 300, 340, 4)
+	p.Instant(KTCCommit, 0, 3, 260, 0)
+	p.Span(KWPQDrain, -1, 0, 400, 400, 9) // zero-length: exported as 1-cycle slice
+
+	var buf bytes.Buffer
+	if err := p.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Events) != 4 {
+		t.Fatalf("read %d events, want 4 (metadata must be filtered)", len(data.Events))
+	}
+	byName := map[string]ChromeEvent{}
+	for _, e := range data.Events {
+		byName[e.Name] = e
+	}
+	tx := byName[KTx.String()]
+	if !tx.Span() || tx.Ts != 100 || tx.Dur != 150 {
+		t.Errorf("tx span read back as %+v", tx)
+	}
+	if tx.Args["arg"] != 7 || tx.Args["id"] != 1 {
+		t.Errorf("tx args lost: %+v", tx.Args)
+	}
+	if c := byName[KTCCommit.String()]; c.Span() || c.Ts != 260 {
+		t.Errorf("instant read back as %+v", c)
+	}
+	if w := byName[KWPQDrain.String()]; !w.Span() || w.Dur != 1 {
+		t.Errorf("zero-length span read back as %+v", w)
+	}
+	for _, key := range []string{"recorded", "dropped", "open_flushed", "time_unit"} {
+		if _, ok := data.OtherData[key]; !ok {
+			t.Errorf("OtherData missing %q: %+v", key, data.OtherData)
+		}
+	}
+	if data.OtherData["recorded"] != "4" || data.OtherData["dropped"] != "0" {
+		t.Errorf("accounting wrong: %+v", data.OtherData)
+	}
+}
+
+// TestReadChromeTraceRejectsGarbage checks the error path names the
+// problem rather than returning an empty trace.
+func TestReadChromeTraceRejectsGarbage(t *testing.T) {
+	_, err := ReadChromeTrace(strings.NewReader("not json"))
+	if err == nil || !strings.Contains(err.Error(), "chrome trace") {
+		t.Fatalf("err = %v, want a parse error naming the trace", err)
+	}
+}

@@ -161,6 +161,7 @@ func (p *Probe) WriteChromeTrace(w io.Writer) error {
 		TraceEvents: out,
 		OtherData: map[string]string{
 			"time_unit":    "1 displayed us = 1 simulated cycle",
+			"recorded":     itoa64(p.Recorded()),
 			"dropped":      itoa64(p.Dropped()),
 			"open_flushed": itoa64(p.OpenSpansFlushed()),
 		},

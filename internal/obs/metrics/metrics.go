@@ -1,0 +1,405 @@
+// Package metrics is the run-wide metrics registry: counters, gauges and
+// log-bucketed streaming histograms wired at the simulator's probe
+// points. Where the obs event ring answers "what happened when" (and
+// forgets the oldest events once full), a metric is a constant-size
+// summary of *every* observation in the run — the layer that turns the
+// paper's distributional claims ("commit-wait stalls stay short in the
+// common case") into queryable numbers: p50/p90/p99 transaction latency,
+// the WPQ drain-duration distribution, the per-line NVM wear profile.
+//
+// The design contract matches the obs probe's:
+//
+//   - nil-safe: every method on a nil *Counter, *Gauge, *Histogram or
+//     *Registry returns immediately, so components hold plain metric
+//     pointers that default to nil and pay one untaken branch when
+//     metrics are disabled;
+//   - allocation-free on the hot path: Observe/Add/Set touch only
+//     fixed-size fields (the AllocsPerRun regression test pins this for
+//     the enabled and disabled paths both);
+//   - deterministic: a Registry is single-goroutine like the simulation
+//     it instruments (parallel sweeps give each cell its own registry),
+//     and snapshots list metrics in sorted name order.
+//
+// Histogram bucketing: values land in log2 buckets — bucket i counts
+// observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i), with
+// bucket 0 counting v == 0. Count, Sum and Max are exact; a quantile is
+// reported as its bucket's inclusive upper bound 2^i - 1, so a reported
+// percentile is never below the true value and overshoots it by less
+// than 2x (the bucket width). That error bound is the price of O(1)
+// memory and allocation-free streaming inserts.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Value reads the count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value-wins instantaneous reading.
+type Gauge struct {
+	v int64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// SetMax records v only if it exceeds the current value — a peak tracker.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	if v > g.v {
+		g.v = v
+	}
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// nBuckets covers bits.Len64's full 0..64 range.
+const nBuckets = 65
+
+// Histogram is a log2-bucketed streaming histogram of uint64
+// observations. Count, Sum and Max are exact; quantiles are bucket upper
+// bounds (see the package comment for the error bound). The zero value
+// is ready to use; a nil *Histogram ignores observations.
+type Histogram struct {
+	buckets [nBuckets]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports observations so far (exact).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum reports the exact sum of all observations.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Max reports the exact maximum observation (0 when empty).
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean reports the exact arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound on the p-quantile: the inclusive upper
+// edge (2^i - 1) of the bucket holding the p*count-th observation,
+// clamped to the exact Max. p <= 0, NaN, or an empty histogram yield 0;
+// p >= 1 yields Max.
+func (h *Histogram) Quantile(p float64) uint64 {
+	if h == nil || h.count == 0 || math.IsNaN(p) || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return h.max
+	}
+	target := uint64(math.Ceil(p * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			upper := uint64(math.MaxUint64)
+			if i < 64 {
+				upper = (uint64(1) << uint(i)) - 1
+			}
+			if upper > h.max {
+				// The true value cannot exceed the exact maximum.
+				upper = h.max
+			}
+			return upper
+		}
+	}
+	return h.max // unreachable: target <= count
+}
+
+// Registry holds the run's named metrics. Lookup-or-create by name keeps
+// wiring sites independent: two components asking for the same name
+// share the metric. A nil *Registry hands out nil metrics, which is the
+// disabled path end to end.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Counter returns the named counter, creating it on first use. Nil
+// registry returns nil (a valid, no-op counter).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// CounterSnapshot is one counter's exported state.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's exported state.
+type GaugeSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's exported summary: exact count,
+// sum, mean and max plus the log2-bucket percentile upper bounds.
+type HistogramSnapshot struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+	Max   uint64  `json:"max"`
+}
+
+// Snapshot is a registry's full exported state, metrics in sorted name
+// order (deterministic output for goldens and JSON diffs).
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters,omitempty"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot exports the registry's current state (nil registry returns
+// nil: the JSON block is omitted entirely when metrics are off).
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{}
+	for _, name := range sortedKeys(r.counters) {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: r.counters[name].Value()})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: r.gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(r.histograms) {
+		h := r.histograms[name]
+		s.Histograms = append(s.Histograms, HistogramSnapshot{
+			Name: name, Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
+			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+			Max: h.Max(),
+		})
+	}
+	return s
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Table renders the snapshot as an aligned human-readable block:
+// histograms with their percentile columns, then counters and gauges.
+// Empty sections are omitted; a nil snapshot renders as nothing.
+func (s *Snapshot) Table() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	if len(s.Histograms) > 0 {
+		width := len("histogram")
+		for _, h := range s.Histograms {
+			if len(h.Name) > width {
+				width = len(h.Name)
+			}
+		}
+		fmt.Fprintf(&b, "%-*s %10s %12s %8s %8s %8s %8s\n",
+			width, "histogram", "count", "mean", "p50", "p90", "p99", "max")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(&b, "%-*s %10d %12.2f %8d %8d %8d %8d\n",
+				width, h.Name, h.Count, h.Mean, h.P50, h.P90, h.P99, h.Max)
+		}
+	}
+	if len(s.Counters) > 0 {
+		if b.Len() > 0 {
+			b.WriteString("\n")
+		}
+		width := len("counter")
+		for _, c := range s.Counters {
+			if len(c.Name) > width {
+				width = len(c.Name)
+			}
+		}
+		fmt.Fprintf(&b, "%-*s %12s\n", width, "counter", "value")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "%-*s %12d\n", width, c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		if b.Len() > 0 {
+			b.WriteString("\n")
+		}
+		width := len("gauge")
+		for _, g := range s.Gauges {
+			if len(g.Name) > width {
+				width = len(g.Name)
+			}
+		}
+		fmt.Fprintf(&b, "%-*s %12s\n", width, "gauge", "value")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&b, "%-*s %12d\n", width, g.Name, g.Value)
+		}
+	}
+	return b.String()
+}
+
+// Histogram returns the named histogram snapshot, or nil (tests, tools).
+func (s *Snapshot) Histogram(name string) *HistogramSnapshot {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Histograms {
+		if s.Histograms[i].Name == name {
+			return &s.Histograms[i]
+		}
+	}
+	return nil
+}
+
+// Counter returns the named counter snapshot, or nil.
+func (s *Snapshot) Counter(name string) *CounterSnapshot {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Counters {
+		if s.Counters[i].Name == name {
+			return &s.Counters[i]
+		}
+	}
+	return nil
+}

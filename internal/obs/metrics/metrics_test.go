@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestHistogramExactAggregates(t *testing.T) {
+	h := &Histogram{}
+	vals := []uint64{0, 1, 1, 2, 3, 7, 8, 100, 1023, 1 << 40}
+	var sum, max uint64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if h.Count() != uint64(len(vals)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(vals))
+	}
+	if h.Sum() != sum {
+		t.Errorf("Sum = %d, want %d", h.Sum(), sum)
+	}
+	if h.Max() != max {
+		t.Errorf("Max = %d, want %d", h.Max(), max)
+	}
+	if want := float64(sum) / float64(len(vals)); h.Mean() != want {
+		t.Errorf("Mean = %g, want %g", h.Mean(), want)
+	}
+}
+
+// TestHistogramQuantileErrorBound checks the documented contract on a
+// randomized stream: the reported quantile is never below the true
+// order statistic and less than 2x above it (bucket width), and never
+// above the exact maximum.
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := &Histogram{}
+	vals := make([]uint64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Int63n(1 << uint(1+rng.Intn(30))))
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		idx := int(math.Ceil(p*float64(len(vals)))) - 1
+		truth := vals[idx]
+		got := h.Quantile(p)
+		if got < truth {
+			t.Errorf("p%.3f = %d below true order statistic %d", p, got, truth)
+		}
+		if truth > 0 && got >= 2*truth {
+			t.Errorf("p%.3f = %d not within 2x of true %d", p, got, truth)
+		}
+		if got > h.Max() {
+			t.Errorf("p%.3f = %d exceeds exact max %d", p, got, h.Max())
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty p50 = %d, want 0", got)
+	}
+	h := &Histogram{}
+	h.Observe(100)
+	h.Observe(200)
+	cases := []struct {
+		p    float64
+		want uint64
+	}{
+		{-1, 0}, {0, 0}, {math.NaN(), 0},
+		{1, 200}, {2, 200}, // >= 1 clamps to exact max
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.p); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	// Single observation: every quantile is bounded by the exact max.
+	one := &Histogram{}
+	one.Observe(1000)
+	if got := one.Quantile(0.99); got != 1000 {
+		t.Errorf("single-value p99 = %d, want clamped to max 1000", got)
+	}
+	// Zero-only stream stays at zero.
+	z := &Histogram{}
+	z.Observe(0)
+	if got := z.Quantile(0.99); got != 0 {
+		t.Errorf("zero-stream p99 = %d, want 0", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.SetMax(9)
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 ||
+		h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil metrics must read as zero")
+	}
+	if r.Enabled() {
+		t.Error("nil registry reports enabled")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Error("nil registry must hand out nil metrics")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot must be nil")
+	}
+	if r.Snapshot().Table() != "" {
+		t.Error("nil snapshot must render empty")
+	}
+}
+
+// TestHotPathAllocationFree pins the zero-allocation contract for the
+// disabled (nil) and enabled paths both — these calls sit on per-cycle
+// and per-event simulator hot paths.
+func TestHotPathAllocationFree(t *testing.T) {
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		nc.Inc()
+		ng.SetMax(7)
+		nh.Observe(123)
+	}); n != 0 {
+		t.Errorf("disabled (nil) path allocates %v bytes/op, want 0", n)
+	}
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	var v uint64
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.SetMax(int64(v))
+		h.Observe(v)
+		v += 13
+	}); n != 0 {
+		t.Errorf("enabled path allocates %v bytes/op, want 0", n)
+	}
+}
+
+func TestRegistrySharesByName(t *testing.T) {
+	r := NewRegistry()
+	if r.Histogram("a") != r.Histogram("a") {
+		t.Error("same name must return the same histogram")
+	}
+	if r.Histogram("a") == r.Histogram("b") {
+		t.Error("different names must return different histograms")
+	}
+	if r.Counter("a") == nil || r.Gauge("a") == nil {
+		t.Error("enabled registry handed out nil metric")
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	g := &Gauge{}
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Errorf("SetMax kept %d, want peak 5", g.Value())
+	}
+	g.Set(1)
+	if g.Value() != 1 {
+		t.Errorf("Set = %d, want 1", g.Value())
+	}
+}
+
+func TestSnapshotSortedAndTable(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("zeta").Observe(4)
+	r.Histogram("alpha").Observe(16)
+	r.Counter("writes").Add(7)
+	r.Gauge("peak").SetMax(3)
+	s := r.Snapshot()
+	if len(s.Histograms) != 2 || s.Histograms[0].Name != "alpha" || s.Histograms[1].Name != "zeta" {
+		t.Fatalf("histograms not in sorted name order: %+v", s.Histograms)
+	}
+	if hs := s.Histogram("alpha"); hs == nil || hs.Count != 1 || hs.Max != 16 {
+		t.Errorf("alpha snapshot wrong: %+v", hs)
+	}
+	if cs := s.Counter("writes"); cs == nil || cs.Value != 7 {
+		t.Errorf("writes snapshot wrong: %+v", cs)
+	}
+	if s.Histogram("missing") != nil || s.Counter("missing") != nil {
+		t.Error("missing lookups must return nil")
+	}
+	tbl := s.Table()
+	for _, want := range []string{"histogram", "p99", "alpha", "zeta", "counter", "writes", "gauge", "peak"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+// TestHistogramLargeValues exercises the top buckets: values at and
+// beyond 2^63 must bucket without overflow and quantiles must clamp to
+// the exact max.
+func TestHistogramLargeValues(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(math.MaxUint64)
+	h.Observe(1 << 63)
+	if h.Count() != 2 || h.Max() != math.MaxUint64 {
+		t.Fatalf("count %d max %d", h.Count(), h.Max())
+	}
+	if got := h.Quantile(0.99); got != math.MaxUint64 {
+		t.Errorf("p99 = %d, want clamp to max", got)
+	}
+}

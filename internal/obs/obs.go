@@ -320,6 +320,21 @@ func (p *Probe) SampleCount() int {
 	return len(p.samples)
 }
 
+// SampleCycles returns the cycle of each sampler firing, in firing
+// order — the row spine of WriteMetricsCSV. Exposed so integration
+// tests can check the sampling cadence survives quiescence
+// fast-forwards.
+func (p *Probe) SampleCycles() []uint64 {
+	if p == nil {
+		return nil
+	}
+	out := make([]uint64, len(p.samples))
+	for i, row := range p.samples {
+		out[i] = row.cycle
+	}
+	return out
+}
+
 // SourceNames returns the registered source names in column order.
 func (p *Probe) SourceNames() []string {
 	if p == nil {

@@ -172,6 +172,54 @@ func TestSampler(t *testing.T) {
 	}
 }
 
+// TestSamplerNoSources: StartSampling with zero registered sources must
+// schedule nothing — no samples accumulate, and the CSV degenerates to
+// a bare header rather than rows of empty columns.
+func TestSamplerNoSources(t *testing.T) {
+	k := sim.NewKernel()
+	p := NewProbe(8)
+	p.StartSampling(k, 10)
+	for i := 0; i < 50; i++ {
+		k.Step()
+	}
+	if p.SampleCount() != 0 {
+		t.Fatalf("SampleCount = %d with no sources, want 0", p.SampleCount())
+	}
+	if got := p.SampleCycles(); len(got) != 0 {
+		t.Fatalf("SampleCycles = %v with no sources, want empty", got)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteMetricsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "cycle" {
+		t.Fatalf("CSV = %q, want bare header", got)
+	}
+}
+
+// TestSamplerPeriodLongerThanRun: a sampling period beyond the run
+// length yields zero samples and a header-only CSV — never a partial or
+// extrapolated row.
+func TestSamplerPeriodLongerThanRun(t *testing.T) {
+	k := sim.NewKernel()
+	p := NewProbe(8)
+	p.AddSource("queue_depth", func() int { return 1 })
+	p.StartSampling(k, 1000)
+	for i := 0; i < 35; i++ {
+		k.Step()
+	}
+	if p.SampleCount() != 0 {
+		t.Fatalf("SampleCount = %d after 35 cycles at every=1000, want 0", p.SampleCount())
+	}
+	var buf bytes.Buffer
+	if err := p.WriteMetricsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "cycle,queue_depth" {
+		t.Fatalf("CSV = %q, want header only", got)
+	}
+}
+
 // BenchmarkNilProbe measures the disabled-path cost of one probe call —
 // the branch every instrumented component pays per event site.
 func BenchmarkNilProbe(b *testing.B) {

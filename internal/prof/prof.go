@@ -1,0 +1,51 @@
+// Package prof backs the command-line tools' -cpuprofile and
+// -memprofile flags with the stdlib runtime/pprof machinery: start a
+// CPU profile before the simulation work, write a heap profile after
+// it, both in `go tool pprof` format. The simulator's hot loop is the
+// kernel tick; these profiles are how the cycles/s regressions the
+// benchmark harness flags get attributed to code.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile streaming to path and returns the stop
+// function to defer. Stop closes the file; errors closing are reported
+// to stderr rather than returned, since the profile data is already
+// flushed by then.
+func StartCPU(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+		}
+	}, nil
+}
+
+// WriteHeap writes a heap profile of live objects to path, running a GC
+// first so the profile reflects retained memory rather than garbage
+// awaiting collection.
+func WriteHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("prof: %w", err)
+	}
+	return f.Close()
+}

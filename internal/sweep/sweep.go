@@ -26,10 +26,12 @@ package sweep
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers resolves a -j style worker-count flag: values <= 0 select
@@ -79,6 +81,34 @@ func (e *Error) Unwrap() error { return e.Err }
 // never run (cells already in flight finish, and their results are
 // discarded by the caller's error path).
 func Run[T any](n, workers int, cell func(i int) (T, error), emit func(i int, v T)) ([]T, error) {
+	return RunWithProgress(n, workers, cell, emit, nil)
+}
+
+// Progress is one live status update from a running sweep, delivered
+// after a cell completes. Done counts the in-order emitted prefix (the
+// same cells emit has seen), so a progress consumer and the emit
+// callback always agree; Busy is how many workers were executing a
+// cell at the instant of the update.
+type Progress struct {
+	Done  int
+	Total int
+	Busy  int
+	// Elapsed is wall time since the sweep started. CellsPerSec is the
+	// completed-prefix rate over Elapsed; ETA extrapolates it over the
+	// remaining cells (zero until the rate is known).
+	Elapsed     time.Duration
+	CellsPerSec float64
+	ETA         time.Duration
+}
+
+// RunWithProgress is Run plus a live progress callback. progress (may
+// be nil, reducing to Run) is serialized through the same reorder-
+// buffer lock as emit — the two never interleave mid-call, so a
+// progress consumer may freely share an output stream with emit. It
+// fires after every cell completion (whether or not the emitted prefix
+// advanced), and like emit it must not call back into the sweep.
+func RunWithProgress[T any](n, workers int, cell func(i int) (T, error),
+	emit func(i int, v T), progress func(Progress)) ([]T, error) {
 	results := make([]T, n)
 	if n == 0 {
 		return results, nil
@@ -89,9 +119,11 @@ func Run[T any](n, workers int, cell func(i int) (T, error), emit func(i int, v 
 	}
 
 	errs := make([]error, n)
+	start := time.Now()
 	var (
 		next   atomic.Int64 // next cell index to hand out
 		failed atomic.Bool  // stop handing out new cells
+		busy   atomic.Int64 // workers currently inside cell()
 
 		mu       sync.Mutex // guards the reorder buffer below
 		done     = make([]bool, n)
@@ -113,14 +145,29 @@ func Run[T any](n, workers int, cell func(i int) (T, error), emit func(i int, v 
 			}
 			nextEmit++
 		}
+		if progress != nil {
+			p := Progress{
+				Done:    nextEmit,
+				Total:   n,
+				Busy:    int(busy.Load()),
+				Elapsed: time.Since(start),
+			}
+			if p.Elapsed > 0 && p.Done > 0 {
+				p.CellsPerSec = float64(p.Done) / p.Elapsed.Seconds()
+				p.ETA = time.Duration(float64(n-p.Done) / p.CellsPerSec * float64(time.Second))
+			}
+			progress(p)
+		}
 	}
 
 	runCell := func(i int) {
+		busy.Add(1)
 		defer func() {
 			if v := recover(); v != nil {
 				errs[i] = &PanicError{Cell: i, Value: v, Stack: string(debug.Stack())}
 				failed.Store(true)
 			}
+			busy.Add(-1)
 			finish(i)
 		}()
 		v, err := cell(i)
@@ -157,4 +204,29 @@ func Run[T any](n, workers int, cell func(i int) (T, error), emit func(i int, v 
 		}
 	}
 	return results, nil
+}
+
+// StderrProgress returns a Progress consumer rendering a single
+// carriage-return-updated status line to w (typically os.Stderr):
+//
+//	label: 12/40 cells, 4 busy, 3.2 cells/s, ETA 9s
+//
+// The line is finished with a newline when the last cell lands. Pass
+// the result as RunWithProgress's progress argument; because progress
+// and emit are serialized, sharing w with an emit printer is safe but
+// visually messy — prefer one or the other.
+func StderrProgress(w io.Writer, label string) func(Progress) {
+	return func(p Progress) {
+		eta := "?"
+		if p.Done == p.Total {
+			eta = "0s"
+		} else if p.ETA > 0 {
+			eta = p.ETA.Round(time.Second).String()
+		}
+		fmt.Fprintf(w, "\r%s: %d/%d cells, %d busy, %.1f cells/s, ETA %-8s",
+			label, p.Done, p.Total, p.Busy, p.CellsPerSec, eta)
+		if p.Done == p.Total {
+			fmt.Fprintln(w)
+		}
+	}
 }

@@ -23,6 +23,7 @@ import (
 
 	"pmemaccel/internal/memaddr"
 	"pmemaccel/internal/obs"
+	"pmemaccel/internal/obs/metrics"
 	"pmemaccel/internal/sim"
 )
 
@@ -189,6 +190,11 @@ type TxCache struct {
 	burstStart  uint64
 	burstIssued uint64
 
+	// hBurstEntries/hBurstCycles stream each closed drain burst's size
+	// and duration into the metrics registry (nil when disabled).
+	hBurstEntries *metrics.Histogram
+	hBurstCycles  *metrics.Histogram
+
 	stats Stats
 }
 
@@ -221,6 +227,16 @@ func (tc *TxCache) SetProbe(p *obs.Probe, core int) {
 			p.Span(obs.KTCDrainOpen, tc.coreID, 0, tc.burstStart, now, tc.burstIssued)
 		}
 	})
+}
+
+// SetMetrics attaches the drain-burst histograms: entries issued per
+// burst and burst duration in cycles. Nil histograms disable the
+// observations; only bursts that close naturally are observed (a burst
+// still open at collection is visible through the probe's open-span
+// flush, not the histograms).
+func (tc *TxCache) SetMetrics(burstEntries, burstCycles *metrics.Histogram) {
+	tc.hBurstEntries = burstEntries
+	tc.hBurstCycles = burstCycles
 }
 
 // Config returns the (defaulted) configuration.
@@ -354,6 +370,8 @@ func (tc *TxCache) Tick(now uint64) {
 	}
 	if tc.burstActive && tc.unissued == 0 {
 		tc.probe.Span(obs.KTCDrain, tc.coreID, 0, tc.burstStart, now, tc.burstIssued)
+		tc.hBurstEntries.Observe(tc.burstIssued)
+		tc.hBurstCycles.Observe(now - tc.burstStart)
 		tc.burstActive = false
 	}
 }
@@ -384,7 +402,7 @@ func (tc *TxCache) issueOne() bool {
 	e.issued = true
 	tc.unissued--
 	tc.stats.Issued++
-	if tc.probe != nil && !tc.burstActive {
+	if (tc.probe != nil || tc.hBurstCycles != nil) && !tc.burstActive {
 		tc.burstActive = true
 		tc.burstStart = tc.k.Now()
 		tc.burstIssued = 0

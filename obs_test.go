@@ -3,6 +3,7 @@ package pmemaccel
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -154,6 +155,94 @@ func TestObsDeterminismUnchanged(t *testing.T) {
 	if base.TotalInstructions() != obsRes.TotalInstructions() {
 		t.Errorf("instructions changed with obs on: %d vs %d",
 			base.TotalInstructions(), obsRes.TotalInstructions())
+	}
+}
+
+// TestSamplerUnderFastForward checks the sampler's interaction with the
+// kernel's quiescence fast-forward: the self-rescheduling sample event
+// keeps the period exact (skips land between events, never across
+// them), so sample cycles are strictly monotonic on an exact
+// SampleEvery cadence, never past the kernel clock (the run's drain
+// tail may extend past the performance window), and identical with
+// fast-forward disabled.
+func TestSamplerUnderFastForward(t *testing.T) {
+	cfg := tinyConfig(workload.RBTree, TCache)
+	cfg.Obs.Enabled = true
+	cfg.Obs.SampleEvery = 500
+
+	run := func(noFF bool) ([]uint64, uint64) {
+		cfg.NoFastForward = noFF
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if noFF == false && sys.Kernel.Skipped() == 0 {
+			t.Log("note: fast-forward never engaged on this run")
+		}
+		return sys.Probe.SampleCycles(), sys.Kernel.Now()
+	}
+
+	ff, ffNow := run(false)
+	if len(ff) == 0 {
+		t.Fatal("no samples recorded at every=500")
+	}
+	prev := uint64(0)
+	for i, c := range ff {
+		if c <= prev && i > 0 {
+			t.Fatalf("sample cycles not strictly increasing: %d then %d", prev, c)
+		}
+		if c%cfg.Obs.SampleEvery != 0 {
+			t.Errorf("sample %d at cycle %d, not a multiple of %d", i, c, cfg.Obs.SampleEvery)
+		}
+		if c > ffNow {
+			t.Errorf("sample %d at cycle %d, beyond the kernel clock %d", i, c, ffNow)
+		}
+		prev = c
+	}
+	noff, noffNow := run(true)
+	if ffNow != noffNow {
+		t.Fatalf("kernel clock diverges with fast-forward: %d vs %d", ffNow, noffNow)
+	}
+	if !reflect.DeepEqual(ff, noff) {
+		t.Errorf("sample cycles diverge with fast-forward:\n  on:  %v\n  off: %v", ff, noff)
+	}
+}
+
+// TestSamplerEveryLongerThanRun: a SampleEvery beyond the run length
+// must not perturb the run (the pending sample event is simply never
+// reached) and must export a header-only CSV.
+func TestSamplerEveryLongerThanRun(t *testing.T) {
+	base, err := Run(tinyConfig(workload.RBTree, TCache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig(workload.RBTree, TCache)
+	cfg.Obs.Enabled = true
+	cfg.Obs.SampleEvery = base.Cycles * 10
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != base.Cycles {
+		t.Errorf("cycles changed with an unreachable sampler: %d vs %d", res.Cycles, base.Cycles)
+	}
+	if n := sys.Probe.SampleCount(); n != 0 {
+		t.Errorf("SampleCount = %d with every=%d on a %d-cycle run, want 0",
+			n, cfg.Obs.SampleEvery, res.Cycles)
+	}
+	var csv bytes.Buffer
+	if err := sys.Probe.WriteMetricsCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(csv.String()), "\n"); len(lines) != 1 {
+		t.Errorf("CSV has %d lines, want header only", len(lines))
 	}
 }
 

@@ -112,6 +112,16 @@ type ObsConfig struct {
 	// SampleEvery is the sampling period in cycles (0 disables the
 	// time-series sampler).
 	SampleEvery uint64
+	// Metrics turns on the run-wide metrics registry: streaming
+	// log2-bucketed histograms at the probe points (transaction latency,
+	// commit wait, TC drain bursts, per-channel write-drain windows,
+	// side-probe hit latency, per-line NVM wear), surfaced as
+	// Result.Metrics and in the JSON export. Independent of Enabled —
+	// the registry is cheap (a few histogram increments on events that
+	// already happen) where the event trace is not. Off by default:
+	// every metrics site is a nil-receiver no-op and results are
+	// byte-identical to a run without it.
+	Metrics bool
 }
 
 // Kind re-exports the mechanism identifier so API users need not import

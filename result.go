@@ -8,6 +8,7 @@ import (
 	"pmemaccel/internal/cpu"
 	"pmemaccel/internal/mechanism"
 	"pmemaccel/internal/memctrl"
+	"pmemaccel/internal/obs/metrics"
 	"pmemaccel/internal/stats"
 	"pmemaccel/internal/txcache"
 )
@@ -60,6 +61,20 @@ type Result struct {
 	NVMWearMean     float64
 	NVMWearMax      uint64
 	NVMWearHotness  float64
+
+	// Metrics is the run-wide metrics snapshot: latency/burst/drain
+	// histogram percentiles plus counters and gauges mirrored from the
+	// component stats. Nil unless Config.Obs.Metrics was set.
+	Metrics *metrics.Snapshot
+
+	// Ring-buffer accounting for the event trace: how many events the
+	// run recorded, how many the bounded ring overwrote (a nonzero
+	// count means the exported trace is a suffix of the run), and how
+	// many still-open spans collection flushed. All zero when
+	// Config.Obs is disabled.
+	ObsEventsRecorded   uint64
+	ObsEventsDropped    uint64
+	ObsOpenSpansFlushed uint64
 }
 
 func (s *System) collect(cycles uint64) *Result {
@@ -68,6 +83,9 @@ func (s *System) collect(cycles uint64) *Result {
 	// trace as explicit open-span events instead of being dropped.
 	s.Probe.FlushOpenSpans(s.Kernel.Now())
 	r := &Result{Config: s.Config, Cycles: cycles}
+	r.ObsEventsRecorded = s.Probe.Recorded()
+	r.ObsEventsDropped = s.Probe.Dropped()
+	r.ObsOpenSpansFlushed = s.Probe.OpenSpansFlushed()
 	for _, c := range s.Cores {
 		st := c.Stats()
 		// Idle closes the attribution: every unfinished cycle ticked
@@ -127,7 +145,39 @@ func (s *System) collect(cycles uint64) *Result {
 	} else {
 		r.DurableDiffCount = len(CheckDurable(s.ExpectedDurable(), s.RecoveredDurable(), 0))
 	}
+
+	if s.Metrics != nil {
+		// Collect-time fills: distributions only final at end of run
+		// (wear), and counters/gauges the components already track
+		// exactly — mirroring them here costs nothing on the hot path.
+		wear.FillHistogram(s.Metrics.Histogram("nvm_line_writes"))
+		fillStatMetrics(s.Metrics, r)
+		r.Metrics = s.Metrics.Snapshot()
+	}
 	return r
+}
+
+// fillStatMetrics mirrors already-exact component counters into the
+// registry so the snapshot is a self-contained run summary: the
+// histograms' percentile rows sit beside the counts that contextualize
+// them (side-probe hit latency beside the hit count, drain-window
+// cycles beside the write totals).
+func fillStatMetrics(reg *metrics.Registry, r *Result) {
+	reg.Counter("instructions").Add(r.TotalInstructions())
+	reg.Counter("transactions").Add(r.TotalTransactions())
+	reg.Counter("nvm_reads").Add(r.NVM.Reads)
+	reg.Counter("nvm_writes").Add(r.NVM.Writes)
+	reg.Counter("dram_reads").Add(r.DRAM.Reads)
+	reg.Counter("llc_dropped_evictions").Add(r.Hier.DroppedEvictions)
+	reg.Counter("side_probes").Add(r.Hier.SidePathProbes)
+	reg.Counter("side_probe_hits").Add(r.Hier.SidePathHits)
+	reg.Counter("obs_events_recorded").Add(r.ObsEventsRecorded)
+	reg.Counter("obs_events_dropped").Add(r.ObsEventsDropped)
+	reg.Counter("obs_open_spans_flushed").Add(r.ObsOpenSpansFlushed)
+	reg.Gauge("cycles").SetMax(int64(r.Cycles))
+	reg.Gauge("nvm_write_queue_peak").SetMax(int64(r.NVM.WriteQueuePeak))
+	reg.Gauge("nvm_read_latency_max").SetMax(int64(r.NVM.ReadLatencyMax))
+	reg.Gauge("nvm_lines_touched").SetMax(int64(r.NVMLinesTouched))
 }
 
 // TotalInstructions sums retired instructions across cores.

@@ -10,6 +10,7 @@ import (
 	"pmemaccel/internal/memctrl"
 	"pmemaccel/internal/memimage"
 	"pmemaccel/internal/obs"
+	"pmemaccel/internal/obs/metrics"
 	"pmemaccel/internal/sim"
 	"pmemaccel/internal/trace"
 	"pmemaccel/internal/workload"
@@ -32,6 +33,13 @@ type System struct {
 	// enabled. Export its contents with Probe.WriteChromeTrace and
 	// Probe.WriteMetricsCSV after (or during) a run.
 	Probe *obs.Probe
+
+	// Metrics is the run-wide metrics registry — nil unless
+	// Config.Obs.Metrics is set. Live histograms fill during the run;
+	// counters and gauges mirrored from the component stats are added at
+	// collection time, and the whole registry is snapshotted into
+	// Result.Metrics.
+	Metrics *metrics.Registry
 
 	// Live is the volatile shadow image (newest store values); Durable
 	// is the NVM content that survives a crash.
@@ -63,11 +71,15 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Obs.Enabled {
 		s.Probe = obs.NewProbe(cfg.Obs.TraceCapacity)
 	}
+	if cfg.Obs.Metrics {
+		s.Metrics = metrics.NewRegistry()
+	}
 	s.Backend, err = memctrl.NewBackend(s.Kernel, cfg.topology(), cfg.nvmConfig(), cfg.dramConfig())
 	if err != nil {
 		return nil, fmt.Errorf("pmemaccel: %w", err)
 	}
 	s.Backend.SetProbe(s.Probe)
+	s.Backend.SetMetrics(s.Metrics)
 
 	// Address-space validation: every address the run will ever send to
 	// the backend must classify into a mapped space, so an unmapped
@@ -107,10 +119,12 @@ func NewSystem(cfg Config) (*System, error) {
 		Durable: s.Durable,
 		TC:      cfg.tcConfig(),
 		Probe:   s.Probe,
+		Metrics: s.Metrics,
 	}
 	s.Mech = mechanism.New(cfg.Mechanism, env)
 	s.Hier = cache.New(s.Kernel, cfg.cacheConfig(), s.Backend, s.Mech.Hooks(), cfg.Cores)
 	s.Hier.SetProbe(s.Probe)
+	s.Hier.SetMetrics(s.Metrics.Histogram("side_probe_hit_latency_cycles"))
 	s.Mech.Attach(s.Hier)
 
 	for c := 0; c < cfg.Cores; c++ {
@@ -118,6 +132,13 @@ func NewSystem(cfg Config) (*System, error) {
 		core := cpu.New(s.Kernel, c, cfg.CPU, s.Hier, s.Mech, rd,
 			func(addr, value uint64) { s.Live.WriteWord(addr, value) })
 		core.SetProbe(s.Probe)
+		// Transaction latency and commit-wait distributions are
+		// run-wide: every core observes into the same pair of
+		// histograms (nil when metrics are off).
+		core.SetMetrics(
+			s.Metrics.Histogram("tx_latency_cycles"),
+			s.Metrics.Histogram("commit_wait_cycles"),
+		)
 		s.Cores = append(s.Cores, core)
 	}
 	s.startSampler()
