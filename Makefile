@@ -14,9 +14,12 @@ ci: build vet staticcheck test race-sweep bench-smoke
 
 # Race-mode pass over the packages with goroutines: the parallel sweep
 # engine, the metrics registry it publishes progress/percentiles
-# through, and the concurrent pmemaccel.Run entry points.
+# through, the parallel simulation kernel's worker/barrier protocol
+# (both its own stress tests and the forced-dispatch run over real
+# components), and the concurrent pmemaccel.Run entry points.
 race-sweep:
-	$(GO) test -race ./internal/sweep/ ./internal/obs/metrics/ ./internal/figures/ .
+	$(GO) test -race ./internal/sweep/ ./internal/obs/metrics/ ./internal/figures/ ./internal/sim/ .
+	$(GO) test -race -run 'TestParallelKernel' -count=1 .
 
 build:
 	$(GO) build ./...
@@ -56,15 +59,15 @@ bench-smoke:
 
 # Benchmark-trajectory harness: run the simulator-speed benchmarks once
 # with -benchmem and record ns/op, allocs/op and sim_cycles/s per
-# benchmark into BENCH_6.json via cmd/benchjson. The file is committed,
+# benchmark into BENCH_7.json via cmd/benchjson. The file is committed,
 # so speed regressions show up as diffs.
 bench-json:
 	$(GO) test -run '^$$' -bench SimulatorSpeed -benchmem -benchtime 1x . \
-		| $(GO) run ./cmd/benchjson -o BENCH_6.json
+		| $(GO) run ./cmd/benchjson -o BENCH_7.json
 
 # Validate the committed trajectory record (CI smoke gate).
 bench-json-check:
-	$(GO) run ./cmd/benchjson -check BENCH_6.json
+	$(GO) run ./cmd/benchjson -check BENCH_7.json
 
 clean:
 	$(GO) clean ./...

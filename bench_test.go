@@ -187,6 +187,26 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
 }
 
+// BenchmarkSimulatorSpeedParallel is BenchmarkSimulatorSpeed under the
+// parallel kernel at 4 workers — the same cell, byte-identical results
+// (pinned by TestParallelKernelIdenticalAllCells), so the sim_cycles/s
+// ratio against the serial bench is pure kernel speedup. Most of the
+// gain is per-component tick elision at the barrier (idle cores skip
+// their Tick entirely); worker dispatch covers the multi-busy cycles.
+func BenchmarkSimulatorSpeedParallel(b *testing.B) {
+	var simCycles uint64
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(workload.RBTree, TCache)
+		cfg.ParWorkers = 4
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simCycles += res.Cycles
+	}
+	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+}
+
 // BenchmarkSimulatorSpeedMultiChannel is BenchmarkSimulatorSpeed on a
 // 4-channel NVM backend — the first memory-side scaling scenario. The
 // sim_cycles/s delta against the single-channel bench prices the extra

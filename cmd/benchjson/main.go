@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench SimulatorSpeed -benchtime 1x -benchmem . | benchjson -o BENCH_6.json
-//	benchjson -check BENCH_6.json     # validate an existing record
+//	go test -run '^$' -bench SimulatorSpeed -benchtime 1x -benchmem . | benchjson -o BENCH_7.json
+//	benchjson -check BENCH_7.json     # validate an existing record
 //
 // The parser accepts the standard benchmark line shape — name,
 // iteration count, then (value, unit) pairs — and keeps every unit it
@@ -151,7 +151,7 @@ func parseLine(line string) (Bench, bool) {
 // checkFile validates a committed record: parseable JSON of the right
 // schema, at least one benchmark, every benchmark named with positive
 // iterations and an ns/op measurement. It is the CI smoke gate for
-// BENCH_6.json.
+// BENCH_7.json.
 func checkFile(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -44,6 +44,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		jobs      = flag.Int("j", 0, "concurrent grid cells (0 = all cores); output is identical for every -j")
 		noFF      = flag.Bool("no-ff", false, "disable quiescence fast-forward (step every cycle; same results, slower)")
+		parKernel = flag.Int("par-kernel", 0, "tick cores on N worker goroutines between quiescence barriers (0 = serial kernel; results are byte-identical either way)")
 		progress  = flag.Bool("progress", false, "render a live one-line grid status (cells/s, busy workers, ETA) instead of per-cell results")
 		metrics   = flag.Bool("metrics", false, "enable the per-run metrics registry and print latency-percentile tables after the figures")
 
@@ -99,6 +100,7 @@ func main() {
 		cfg.DRAMChannels = *dramChans
 		cfg.Seed = *seed
 		cfg.NoFastForward = *noFF
+		cfg.ParWorkers = *parKernel
 		cfg.Obs.Metrics = *metrics
 		return cfg
 	}

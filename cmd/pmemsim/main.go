@@ -52,6 +52,7 @@ func main() {
 		sampleEvery = flag.Uint64("sample-every", 1000, "sampling period in cycles for -metrics-out")
 		metrics     = flag.Bool("metrics", false, "enable the run-wide metrics registry and print its percentile table")
 		noFF        = flag.Bool("no-ff", false, "disable quiescence fast-forward (step every cycle; same results, slower)")
+		parKernel   = flag.Int("par-kernel", 0, "tick cores on N worker goroutines between quiescence barriers (0 = serial kernel; results are byte-identical either way)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof format) to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -105,6 +106,7 @@ func main() {
 	cfg.ChannelInterleaveBytes = *interleave
 	cfg.Seed = *seed
 	cfg.NoFastForward = *noFF
+	cfg.ParWorkers = *parKernel
 	if *traceOut != "" || *metricsOut != "" {
 		cfg.Obs.Enabled = true
 		if *metricsOut != "" {

@@ -49,6 +49,11 @@ type Export struct {
 	TCFullStallPct   float64 `json:"tc_full_stall_pct"`
 	DurableDiffCount int     `json:"durable_diff_count"`
 
+	// SkippedCycles is the kernel's quiescence fast-forward audit
+	// counter: how many of Cycles were proven idle and bulk-applied
+	// rather than stepped. Always 0 under -no-ff.
+	SkippedCycles uint64 `json:"skipped_cycles"`
+
 	// Attribution is the all-core cycle breakdown as percentages of the
 	// performance window, keyed by cpu.BreakdownCategories.
 	Attribution map[string]float64 `json:"cycle_attribution_pct"`
@@ -97,6 +102,7 @@ func (r *Result) Export() Export {
 		NVMWearHotness:   r.NVMWearHotness,
 		DurableDiffCount: r.DurableDiffCount,
 
+		SkippedCycles:       r.SkippedCycles,
 		Metrics:             r.Metrics,
 		ObsEventsRecorded:   r.ObsEventsRecorded,
 		ObsEventsDropped:    r.ObsEventsDropped,

@@ -165,7 +165,7 @@ type Stats struct {
 
 // Core executes one trace stream. Register with the kernel to run.
 type Core struct {
-	k    *sim.Kernel
+	k    *sim.Ctx
 	id   int
 	cfg  Config
 	hier *cache.Hierarchy
@@ -203,9 +203,13 @@ type Core struct {
 	stats Stats
 }
 
-// New builds a core and registers it with the kernel. onStoreRetire may
-// be nil.
-func New(k *sim.Kernel, id int, cfg Config, hier *cache.Hierarchy, pers Persistence,
+// New builds a core and registers it with the kernel through its
+// context. In parallel-kernel runs the context is the core's group
+// binding: the core ticks on a worker and routes every shared-state
+// interaction (hierarchy accesses, flushes, live-image writes) through
+// the context's journal. In serial runs the context is a plain kernel
+// passthrough. onStoreRetire may be nil.
+func New(k *sim.Ctx, id int, cfg Config, hier *cache.Hierarchy, pers Persistence,
 	rd trace.Reader, onStoreRetire func(addr, value uint64)) *Core {
 	cfg = cfg.WithDefaults()
 	if pers == nil {
@@ -358,12 +362,19 @@ func (c *Core) Tick(now uint64) {
 					return
 				}
 			}
-			if c.onStoreRetire != nil {
-				c.onStoreRetire(c.cur.Addr, c.cur.Value)
-			}
 			c.outStores++
-			c.hier.Access(c.id, c.cur.Addr, true, persistent, act.TxTag, act.Uncommitted,
-				func() { c.outStores--; c.finishCheck() })
+			// Capture the record fields: under the parallel kernel the
+			// live-image write and hierarchy access are journaled and
+			// replay after this Tick, when c.cur already holds a later
+			// record.
+			addr, value := c.cur.Addr, c.cur.Value
+			tag, unc := act.TxTag, act.Uncommitted
+			done := func() { c.outStores--; c.finishCheck() }
+			if c.k.Deferring() {
+				c.k.Defer(func() { c.retireStore(addr, value, persistent, tag, unc, done) })
+			} else {
+				c.retireStore(addr, value, persistent, tag, unc, done)
+			}
 			c.stats.Stores++
 			c.stats.Instructions++
 			budget--
@@ -419,7 +430,13 @@ func (c *Core) Tick(now uint64) {
 			if c.cur.Kind == trace.KindCLFlush {
 				flush = c.hier.FlushInv
 			}
-			flush(c.id, c.cur.Addr, func() { c.outFlushes--; c.finishCheck() })
+			addr := c.cur.Addr
+			done := func() { c.outFlushes--; c.finishCheck() }
+			if c.k.Deferring() {
+				c.k.Defer(func() { flush(c.id, addr, done) })
+			} else {
+				flush(c.id, addr, done)
+			}
 			c.stats.Instructions++
 			budget--
 			c.retire()
@@ -521,11 +538,22 @@ func (c *Core) peekExhaustion() {
 	}
 }
 
+// retireStore pushes one retired store into the shared memory system:
+// live-image write first, then the hierarchy access, the same order the
+// serial sweep produces. Under the parallel kernel it runs at journal
+// replay on the coordinator.
+func (c *Core) retireStore(addr, value uint64, persistent bool, tag uint64, unc bool, done func()) {
+	if c.onStoreRetire != nil {
+		c.onStoreRetire(addr, value)
+	}
+	c.hier.Access(c.id, addr, true, persistent, tag, unc, done)
+}
+
 func (c *Core) issueLoad(addr uint64, now uint64) {
 	c.stats.Loads++
 	persistent := memaddr.IsPersistent(addr)
 	c.outLoads++
-	c.hier.Access(c.id, addr, false, persistent, 0, false, func() {
+	done := func() {
 		c.outLoads--
 		if persistent {
 			lat := c.k.Now() - now
@@ -538,7 +566,12 @@ func (c *Core) issueLoad(addr uint64, now uint64) {
 			c.stats.PloadHist[idx]++
 		}
 		c.finishCheck()
-	})
+	}
+	if c.k.Deferring() {
+		c.k.Defer(func() { c.hier.Access(c.id, addr, false, persistent, 0, false, done) })
+	} else {
+		c.hier.Access(c.id, addr, false, persistent, 0, false, done)
+	}
 }
 
 // PloadPercentile returns an upper bound on the given percentile of the

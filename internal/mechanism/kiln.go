@@ -149,10 +149,19 @@ func (m *kiln) Store(core int, txID uint64, addr, value uint64) cpu.StoreAction 
 // the nonvolatile LLC; the commit becomes visible atomically when the
 // flush completes and the lines unpin.
 func (m *kiln) TxEnd(core int, txID uint64, resume func()) bool {
-	m.hier.FlushTx(core, m.tag(core, txID), func() {
+	tag := m.tag(core, txID)
+	done := func() {
 		m.committed[core]++
 		resume()
-	})
+	}
+	// TxEnd runs on the core's worker under the parallel kernel; the
+	// flush walks the shared hierarchy, so it is journaled through the
+	// core's context and replays in registration order.
+	if x := m.env.Ctxs[core]; x.Deferring() {
+		x.Defer(func() { m.hier.FlushTx(core, tag, done) })
+	} else {
+		m.hier.FlushTx(core, tag, done)
+	}
 	return true
 }
 

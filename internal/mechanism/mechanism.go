@@ -120,6 +120,13 @@ type TCIntrospector interface {
 type Env struct {
 	K     *sim.Kernel
 	Cores int
+	// Ctxs is the per-core kernel context. A mechanism's per-core slots
+	// (transaction caches, commit polls, fall-back writers) schedule and
+	// defer through Ctxs[core], so that when core c's slot runs on a
+	// parallel-kernel worker its shared-state interactions are journaled
+	// under c's group. Nil entries (or a nil slice) are filled with
+	// plain serial passthrough contexts by New.
+	Ctxs []*sim.Ctx
 	// Mem is the main-memory port (the multi-channel backend).
 	Mem MemPort
 	// Live is the volatile shadow image: the newest architectural value
@@ -191,6 +198,14 @@ func estimateRecoveryCycles(scanned, writes int) uint64 {
 
 // New builds the mechanism of the given kind over env.
 func New(kind Kind, env *Env) Mechanism {
+	if env.Ctxs == nil {
+		env.Ctxs = make([]*sim.Ctx, env.Cores)
+	}
+	for i := range env.Ctxs {
+		if env.Ctxs[i] == nil {
+			env.Ctxs[i] = env.K.NewCtx()
+		}
+	}
 	switch kind {
 	case Optimal:
 		return newOptimal(env)

@@ -245,8 +245,8 @@ func TestTCacheOverflowFallback(t *testing.T) {
 			t.Fatalf("store %d stalled; fallback should absorb overflow", i)
 		}
 	}
-	if m.FallbackTxs != 1 {
-		t.Fatalf("FallbackTxs = %d, want 1", m.FallbackTxs)
+	if m.FallbackTxs() != 1 {
+		t.Fatalf("FallbackTxs = %d, want 1", m.FallbackTxs())
 	}
 	if m.tcs[0].Occupancy() != 0 {
 		t.Fatalf("TC still holds %d entries of the overflowed tx", m.tcs[0].Occupancy())

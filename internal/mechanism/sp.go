@@ -150,15 +150,20 @@ func (m *sp) TxEnd(core int, txID uint64, resume func()) bool {
 	if m.env.Mem.PendingNVMWrites() == 0 {
 		return false
 	}
+	// The poll schedules through the core's context: the first Schedule
+	// happens inside TxEnd, which under the parallel kernel runs on the
+	// core's worker (re-arms from poll itself run in event context and
+	// pass straight through to the kernel).
+	x := m.env.Ctxs[core]
 	var poll func()
 	poll = func() {
 		if m.env.Mem.PendingNVMWrites() == 0 {
 			resume()
 			return
 		}
-		m.env.K.Schedule(1, poll)
+		x.Schedule(1, poll)
 	}
-	m.env.K.Schedule(1, poll)
+	x.Schedule(1, poll)
 	return true
 }
 

@@ -39,10 +39,14 @@ type tcMech struct {
 	shadow        []memaddr.Range
 	shadowCursor  []uint64
 
-	// FallbackTxs counts transactions that overflowed to the COW path.
-	FallbackTxs uint64
-	// cFallback mirrors FallbackTxs into the metrics registry (nil
-	// when metrics are disabled).
+	// fallbackTxs counts transactions that overflowed to the COW path,
+	// per core: the counter is bumped from cpu.Persistence.Store, which
+	// under the parallel kernel runs on per-core workers — a single
+	// shared word would be a data race.
+	fallbackTxs []uint64
+	// cFallback mirrors the fall-back count into the metrics registry
+	// (nil when metrics are disabled; metrics are never enabled in
+	// parallel-kernel runs, so the shared counter is coordinator-only).
 	cFallback *metrics.Counter
 }
 
@@ -57,6 +61,7 @@ func newTCache(env *Env) Mechanism {
 		fbCommit:      make([]func(), env.Cores),
 		shadow:        memaddr.Partition(memaddr.NVMLogBase, 1<<36, env.Cores),
 		shadowCursor:  make([]uint64, env.Cores),
+		fallbackTxs:   make([]uint64, env.Cores),
 		cFallback:     env.Metrics.Counter("tc_fallback_txs"),
 	}
 	for c := range m.shadowCursor {
@@ -64,7 +69,7 @@ func newTCache(env *Env) Mechanism {
 	}
 	durableApply := func(addr, value uint64) { env.Durable.WriteWord(addr, value) }
 	for c := 0; c < env.Cores; c++ {
-		tc := txcache.New(env.K, env.TC, env.Mem, durableApply)
+		tc := txcache.New(env.Ctxs[c], env.TC, env.Mem, durableApply)
 		tc.SetProbe(env.Probe, c)
 		// Drain-burst histograms are run-wide (shared across cores):
 		// the paper's claim is about the burst distribution, not any
@@ -138,7 +143,7 @@ func (m *tcMech) Store(core int, txID uint64, addr, value uint64) cpu.StoreActio
 	case txcache.Fallback:
 		m.fbActive[core] = true
 		m.fbTx[core] = txID
-		m.FallbackTxs++
+		m.fallbackTxs[core]++
 		m.cFallback.Inc()
 		// The whole transaction moves to the copy-on-write path: its
 		// TC-resident entries are evicted into the shadow first (in
@@ -154,7 +159,18 @@ func (m *tcMech) Store(core int, txID uint64, addr, value uint64) cpu.StoreActio
 	}
 }
 
-// fallbackWrite sends one shadow (copy-on-write) update to NVM.
+// FallbackTxs sums the per-core fall-back transaction counts.
+func (m *tcMech) FallbackTxs() uint64 {
+	var total uint64
+	for _, n := range m.fallbackTxs {
+		total += n
+	}
+	return total
+}
+
+// fallbackWrite sends one shadow (copy-on-write) update to NVM. It runs
+// from the core's Store path, so under the parallel kernel the shared
+// backend write is journaled through the core's context.
 func (m *tcMech) fallbackWrite(core int, addr, value uint64) {
 	slot := m.shadowCursor[core]
 	m.shadowCursor[core] += 2 * memaddr.WordSize
@@ -163,10 +179,15 @@ func (m *tcMech) fallbackWrite(core int, addr, value uint64) {
 	}
 	m.fbPending[core] = append(m.fbPending[core], trace.Write{Addr: memaddr.WordAddr(addr), Value: value})
 	m.fbOutstanding[core]++
-	m.env.Mem.Write(memaddr.LineAddr(slot), nil, func() {
+	onDurable := func() {
 		m.fbOutstanding[core]--
 		m.checkFallbackCommit(core)
-	})
+	}
+	if x := m.env.Ctxs[core]; x.Deferring() {
+		x.Defer(func() { m.env.Mem.Write(memaddr.LineAddr(slot), nil, onDurable) })
+	} else {
+		m.env.Mem.Write(memaddr.LineAddr(slot), nil, onDurable)
+	}
 }
 
 // TxEnd commits: ordinarily a single commit request to the nonvolatile TC
@@ -184,13 +205,22 @@ func (m *tcMech) TxEnd(core int, txID uint64, resume func()) bool {
 			slot := m.shadowCursor[core]
 			m.shadowCursor[core] += 2 * memaddr.WordSize
 			pend := m.fbPending[core]
-			m.env.Mem.Write(memaddr.LineAddr(slot), func() {
+			apply := func() {
 				for _, w := range pend {
 					m.env.Durable.WriteWord(w.Addr, w.Value)
 				}
 				m.tcs[core].Commit(txID)
 				m.committed[core]++
-			}, resume)
+			}
+			// The commit can fire synchronously from TxEnd (everything
+			// already durable and drained), which under the parallel
+			// kernel runs on the core's worker: journal the shared
+			// backend write through the core's context.
+			if x := m.env.Ctxs[core]; x.Deferring() {
+				x.Defer(func() { m.env.Mem.Write(memaddr.LineAddr(slot), apply, resume) })
+			} else {
+				m.env.Mem.Write(memaddr.LineAddr(slot), apply, resume)
+			}
 			m.fbPending[core] = nil
 			m.fbActive[core] = false
 		}
@@ -220,7 +250,7 @@ func (m *tcMech) pollFallbackCommit(core int) {
 	if m.fbCommit[core] == nil {
 		return
 	}
-	m.env.K.Schedule(1, func() {
+	m.env.Ctxs[core].Schedule(1, func() {
 		m.checkFallbackCommit(core)
 		m.pollFallbackCommit(core)
 	})

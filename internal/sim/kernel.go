@@ -148,6 +148,18 @@ type Kernel struct {
 	ff      bool
 	skipped uint64
 
+	// pastSchedules counts ScheduleAt calls whose target cycle was
+	// strictly in the past (coerced to now+1). A nonzero count flags a
+	// causality bug: no component should ever compute a stale absolute
+	// cycle. The parallel kernel's equivalence tests assert it stays
+	// zero — under parallel ticking a past-cycle schedule would
+	// otherwise mask a cross-worker causality violation as a quiet
+	// reordering.
+	pastSchedules uint64
+
+	// par is the parallel execution mode (nil = serial). See parallel.go.
+	par *parallel
+
 	debugBlocked func(int)
 }
 
@@ -168,6 +180,12 @@ func (k *Kernel) SetFastForward(on bool) { k.ff = on }
 // Skipped reports how many cycles fast-forward jumped over so far.
 func (k *Kernel) Skipped() uint64 { return k.skipped }
 
+// PastSchedules reports how many ScheduleAt calls targeted a cycle
+// strictly in the past and were coerced to the next cycle. Always zero
+// for a well-behaved machine; the parallel-kernel equivalence tests
+// assert it.
+func (k *Kernel) PastSchedules() uint64 { return k.pastSchedules }
+
 // Register adds a component to the per-cycle tick list. Components tick in
 // registration order. Components implementing Quiescer (and optionally
 // CycleSkipper) participate in quiescence fast-forward.
@@ -187,8 +205,14 @@ func (k *Kernel) Schedule(delay uint64, fn func()) {
 
 // ScheduleAt arranges for fn to run at the given absolute cycle. Scheduling
 // in the past (or for the current cycle) is adjusted to the next cycle.
+// Current-cycle targets are the documented Schedule(0) idiom; strictly
+// past targets additionally increment the PastSchedules counter, since
+// they indicate a caller computed a stale cycle.
 func (k *Kernel) ScheduleAt(cycle uint64, fn func()) {
 	if cycle <= k.now {
+		if cycle < k.now {
+			k.pastSchedules++
+		}
 		cycle = k.now + 1
 	}
 	k.seq++
@@ -237,12 +261,22 @@ func (k *Kernel) maybeSkip(limit uint64) {
 	// registered last (cores) answer cheapest and are busiest, so they
 	// short-circuit the poll before the controllers' window scans run.
 	// Polling order is unobservable — Idle must not mutate state.
-	for i := len(k.tickables) - 1; i >= 0; i-- {
-		if k.tickables[i].q == nil || !k.tickables[i].q.Idle() {
-			if k.debugBlocked != nil {
-				k.debugBlocked(i)
+	//
+	// The parallel sweep already polled every component last cycle; when
+	// it elided all of them the machine was provably idle at the end of
+	// that cycle and nothing has run since, so the verdict is reusable.
+	// The reuse is positive-only: a sweep with busy members re-polls
+	// here, because a busy component may have gone idle during its own
+	// Tick — taking the stale "busy" answer would diverge the skip
+	// decisions (and Skipped()) from the serial kernel.
+	if k.par == nil || !k.par.allIdleLast {
+		for i := len(k.tickables) - 1; i >= 0; i-- {
+			if k.tickables[i].q == nil || !k.tickables[i].q.Idle() {
+				if k.debugBlocked != nil {
+					k.debugBlocked(i)
+				}
+				return
 			}
-			return
 		}
 	}
 	n := target - k.now - 1
@@ -262,12 +296,19 @@ func (k *Kernel) maybeSkip(limit uint64) {
 // predicate is evaluated at the same component states either way (state
 // cannot change across provably idle cycles).
 func (k *Kernel) RunUntil(done func() bool, limit uint64) (uint64, bool) {
+	if k.par != nil {
+		k.par.prepare(k)
+	}
 	for !done() {
 		if k.now >= limit {
 			return k.now, false
 		}
 		k.maybeSkip(limit)
-		k.Step()
+		if k.par != nil {
+			k.stepPar()
+		} else {
+			k.Step()
+		}
 	}
 	return k.now, true
 }
@@ -282,9 +323,23 @@ func (k *Kernel) Drain(limit uint64) bool {
 
 // DebugIdleBlockers instruments the kernel (test use): returns a closure
 // reporting, per tickable index, how many idle polls that component was
-// the first to answer "busy" to.
+// the first to answer "busy" to. Components registered after the call
+// are accounted too: the counts slice grows on demand, so machines with
+// any number of tickables (a 64-core grid registers well over 64) are
+// safe.
 func DebugIdleBlockers(k *Kernel) func() []uint64 {
-	counts := make([]uint64, 64)
-	k.debugBlocked = func(i int) { counts[i]++ }
-	return func() []uint64 { return counts[:len(k.tickables)] }
+	counts := make([]uint64, len(k.tickables))
+	grow := func(n int) {
+		for len(counts) < n {
+			counts = append(counts, 0)
+		}
+	}
+	k.debugBlocked = func(i int) {
+		grow(i + 1)
+		counts[i]++
+	}
+	return func() []uint64 {
+		grow(len(k.tickables))
+		return counts[:len(k.tickables)]
+	}
 }

@@ -165,7 +165,7 @@ type Stats struct {
 // TxCache is one core's transaction cache. Register with the kernel so
 // the drain state machine ticks.
 type TxCache struct {
-	k   *sim.Kernel
+	k   *sim.Ctx
 	cfg Config
 	mem Port
 	// durableApply writes one word into the durable NVM image; the
@@ -198,9 +198,12 @@ type TxCache struct {
 	stats Stats
 }
 
-// New builds a TC draining into mem. durableApply may be nil (timing-only
-// use).
-func New(k *sim.Kernel, cfg Config, mem Port, durableApply func(addr, value uint64)) *TxCache {
+// New builds a TC draining into mem. The context carries the TC's
+// parallel-kernel group binding (a plain kernel passthrough in serial
+// runs); drained writes into the shared memory backend are journaled
+// through it when the TC ticks on a worker. durableApply may be nil
+// (timing-only use).
+func New(k *sim.Ctx, cfg Config, mem Port, durableApply func(addr, value uint64)) *TxCache {
 	cfg = cfg.WithDefaults()
 	if cfg.Entries() < 2 {
 		panic(fmt.Sprintf("txcache: %d bytes / %d-byte entries leaves %d entries",
@@ -413,7 +416,11 @@ func (tc *TxCache) issueOne() bool {
 	if tc.durableApply != nil {
 		apply = func() { tc.durableApply(addr, value) }
 	}
-	tc.mem.Write(memaddr.LineAddr(addr), apply, func() { tc.Ack(addr) })
+	if tc.k.Deferring() {
+		tc.k.Defer(func() { tc.mem.Write(memaddr.LineAddr(addr), apply, func() { tc.Ack(addr) }) })
+	} else {
+		tc.mem.Write(memaddr.LineAddr(addr), apply, func() { tc.Ack(addr) })
+	}
 	tc.issue = tc.next(tc.issue)
 	return true
 }

@@ -1,0 +1,183 @@
+package pmemaccel
+
+import (
+	"reflect"
+	"testing"
+
+	"pmemaccel/internal/workload"
+)
+
+// runWithWorkers runs one cell through NewSystem (not the Run
+// convenience wrapper) so the test can interrogate the kernel after the
+// run: the parallel-equivalence contract includes "no component ever
+// scheduled into the past", which only the kernel can attest.
+func runWithWorkers(t *testing.T, cfg Config, workers int) *Result {
+	return runWithThreshold(t, cfg, workers, 0)
+}
+
+// runWithThreshold additionally lowers the kernel's dispatch threshold
+// (0 keeps the default): threshold 2 forces the worker/journal protocol
+// onto every multi-busy cycle, which is how the race-enabled CI job
+// sweeps the barrier code against real component ticks.
+func runWithThreshold(t *testing.T, cfg Config, workers, threshold int) *Result {
+	t.Helper()
+	cfg.ParWorkers = workers
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem(workers=%d): %v", workers, err)
+	}
+	if threshold > 0 {
+		sys.Kernel.SetDispatchThreshold(threshold)
+	}
+	r, err := sys.Run()
+	if err != nil {
+		t.Fatalf("Run(workers=%d): %v", workers, err)
+	}
+	if ps := sys.Kernel.PastSchedules(); ps != 0 {
+		t.Errorf("workers=%d: %d ScheduleAt calls targeted the past (coerced forward); the parallel kernel requires zero", workers, ps)
+	}
+	return r
+}
+
+// TestParallelKernelIdenticalAllCells is the tentpole acceptance gate:
+// every benchmark x mechanism cell must produce a result under the
+// parallel kernel that is byte-identical to the serial kernel's —
+// including SkippedCycles, since the whole-machine fast-forward
+// decision is taken at the same barrier points in both modes. Only
+// Config is zeroed (ParWorkers is the intended difference).
+func TestParallelKernelIdenticalAllCells(t *testing.T) {
+	for _, b := range workload.All {
+		for _, m := range []Kind{Optimal, SP, TCache, Kiln} {
+			b, m := b, m
+			t.Run(b.String()+"/"+m.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := smokeConfig(b, m)
+				serial := runWithWorkers(t, cfg, 0)
+				par := runWithWorkers(t, cfg, 4)
+				serial.Config = Config{}
+				par.Config = Config{}
+				if !reflect.DeepEqual(serial, par) {
+					t.Errorf("results diverge serial vs -par-kernel 4:\n  serial: %v\n  par:    %v", serial, par)
+					if serial.Cycles != par.Cycles {
+						t.Errorf("Cycles: %d vs %d", serial.Cycles, par.Cycles)
+					}
+					if serial.SkippedCycles != par.SkippedCycles {
+						t.Errorf("SkippedCycles: %d vs %d", serial.SkippedCycles, par.SkippedCycles)
+					}
+					for c := range serial.PerCore {
+						if !reflect.DeepEqual(serial.PerCore[c], par.PerCore[c]) {
+							t.Errorf("core %d stats diverge:\n  serial: %+v\n  par:    %+v",
+								c, serial.PerCore[c], par.PerCore[c])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelKernelWorkerCountInvariance pins that the worker count is
+// purely an execution detail: 1, 2, and 8 workers all reproduce the
+// 4-worker (and hence serial) result on a representative cell per
+// mechanism.
+func TestParallelKernelWorkerCountInvariance(t *testing.T) {
+	for _, m := range []Kind{Optimal, SP, TCache, Kiln} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := smokeConfig(workload.Hashtable, m)
+			base := runWithWorkers(t, cfg, 0)
+			base.Config = Config{}
+			for _, w := range []int{1, 2, 8} {
+				r := runWithWorkers(t, cfg, w)
+				r.Config = Config{}
+				if !reflect.DeepEqual(base, r) {
+					t.Errorf("workers=%d diverges from serial:\n  serial: %v\n  par:    %v", w, base, r)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelKernelForcedDispatch drops the dispatch threshold to 2 so
+// every multi-busy wave goes through worker dispatch and journal replay
+// (the default threshold keeps small waves inline), and pins that the
+// journaled path is byte-identical to serial on every mechanism. Run
+// under -race this is the sweep of the worker/barrier protocol against
+// real component ticks.
+func TestParallelKernelForcedDispatch(t *testing.T) {
+	for _, b := range []workload.Benchmark{workload.RBTree, workload.SPS} {
+		for _, m := range []Kind{Optimal, SP, TCache, Kiln} {
+			b, m := b, m
+			t.Run(b.String()+"/"+m.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := smokeConfig(b, m)
+				serial := runWithWorkers(t, cfg, 0)
+				par := runWithThreshold(t, cfg, 4, 2)
+				serial.Config = Config{}
+				par.Config = Config{}
+				if !reflect.DeepEqual(serial, par) {
+					t.Errorf("forced-dispatch results diverge from serial:\n  serial: %v\n  par:    %v", serial, par)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelKernelNoFastForwardCombos crosses the two kernel modes:
+// -no-ff x -par-kernel must agree with plain -no-ff (every cycle
+// stepped, none skipped), and with the fast-forwarding runs on
+// everything except the skip audit counter.
+func TestParallelKernelNoFastForwardCombos(t *testing.T) {
+	for _, m := range []Kind{Optimal, SP, TCache, Kiln} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := smokeConfig(workload.RBTree, m)
+			cfg.NoFastForward = true
+			serial := runWithWorkers(t, cfg, 0)
+			par := runWithWorkers(t, cfg, 4)
+			if serial.SkippedCycles != 0 || par.SkippedCycles != 0 {
+				t.Errorf("-no-ff runs skipped cycles: serial=%d par=%d, want 0/0",
+					serial.SkippedCycles, par.SkippedCycles)
+			}
+			serial.Config = Config{}
+			par.Config = Config{}
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("-no-ff results diverge serial vs -par-kernel 4:\n  serial: %v\n  par:    %v", serial, par)
+			}
+
+			// Cross-check against the fast-forwarding pair: mode choice
+			// (ff x par) changes nothing but the skip audit trail.
+			ffCfg := smokeConfig(workload.RBTree, m)
+			ffPar := runWithWorkers(t, ffCfg, 4)
+			ffPar.Config = Config{}
+			ffPar.SkippedCycles = 0
+			if !reflect.DeepEqual(serial, ffPar) {
+				t.Errorf("ff+par diverges from no-ff serial beyond SkippedCycles:\n  no-ff:  %v\n  ff+par: %v", serial, ffPar)
+			}
+		})
+	}
+}
+
+// TestParallelKernelRejectsObs pins the config gate: the parallel
+// kernel refuses to run with the observability layer enabled (probe and
+// metrics sinks are unsynchronized shared state).
+func TestParallelKernelRejectsObs(t *testing.T) {
+	cfg := smokeConfig(workload.SPS, TCache)
+	cfg.ParWorkers = 2
+	cfg.Obs.Enabled = true
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted ParWorkers with Obs.Enabled")
+	}
+	cfg.Obs.Enabled = false
+	cfg.Obs.Metrics = true
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted ParWorkers with Obs.Metrics")
+	}
+	cfg.ParWorkers = -1
+	cfg.Obs.Metrics = false
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted negative ParWorkers")
+	}
+}

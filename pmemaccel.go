@@ -92,6 +92,18 @@ type Config struct {
 	// comparison.
 	NoFastForward bool
 
+	// ParWorkers > 0 runs the simulation kernel in parallel mode with
+	// that many tick workers: each core (plus its transaction cache,
+	// for the TCache mechanism) ticks on a worker between per-cycle
+	// barriers, with shared-state interactions journaled and replayed
+	// in registration order. Results are byte-identical to the serial
+	// kernel (the parallel-equivalence tests pin it across the full
+	// paperrepro grid, exactly like NoFastForward). 0 (the default)
+	// keeps the serial kernel. Incompatible with the observability
+	// layer: probe and metrics sinks are shared and unsynchronized, so
+	// Validate rejects ParWorkers > 0 with Obs.Enabled or Obs.Metrics.
+	ParWorkers int
+
 	// Obs configures the cycle-level observability layer (off by
 	// default: the probe is nil and every probe site is an untaken
 	// branch).
@@ -258,6 +270,12 @@ func (c Config) Validate() error {
 	}
 	if err := c.topology().WithDefaults().Validate(); err != nil {
 		return fmt.Errorf("pmemaccel: %w", err)
+	}
+	if c.ParWorkers < 0 {
+		return fmt.Errorf("pmemaccel: ParWorkers %d must be non-negative (0 selects the serial kernel)", c.ParWorkers)
+	}
+	if c.ParWorkers > 0 && (c.Obs.Enabled || c.Obs.Metrics) {
+		return fmt.Errorf("pmemaccel: ParWorkers %d is incompatible with the observability layer (Obs.Enabled/Obs.Metrics): probe and metrics sinks are unsynchronized shared state", c.ParWorkers)
 	}
 	return nil
 }

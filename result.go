@@ -75,6 +75,14 @@ type Result struct {
 	ObsEventsRecorded   uint64
 	ObsEventsDropped    uint64
 	ObsOpenSpansFlushed uint64
+
+	// SkippedCycles is how many cycles the kernel's quiescence
+	// fast-forward jumped instead of stepping — the audit trail for
+	// `-no-ff` equivalence runs (which must report 0) and for judging
+	// how much of a run the event-driven mode covered. Skipped cycles
+	// are real simulated cycles (they are included in Cycles); this
+	// counter only records that they were proven idle and bulk-applied.
+	SkippedCycles uint64
 }
 
 func (s *System) collect(cycles uint64) *Result {
@@ -83,6 +91,7 @@ func (s *System) collect(cycles uint64) *Result {
 	// trace as explicit open-span events instead of being dropped.
 	s.Probe.FlushOpenSpans(s.Kernel.Now())
 	r := &Result{Config: s.Config, Cycles: cycles}
+	r.SkippedCycles = s.Kernel.Skipped()
 	r.ObsEventsRecorded = s.Probe.Recorded()
 	r.ObsEventsDropped = s.Probe.Dropped()
 	r.ObsOpenSpansFlushed = s.Probe.OpenSpansFlushed()
@@ -171,6 +180,7 @@ func fillStatMetrics(reg *metrics.Registry, r *Result) {
 	reg.Counter("llc_dropped_evictions").Add(r.Hier.DroppedEvictions)
 	reg.Counter("side_probes").Add(r.Hier.SidePathProbes)
 	reg.Counter("side_probe_hits").Add(r.Hier.SidePathHits)
+	reg.Counter("skipped_cycles").Add(r.SkippedCycles)
 	reg.Counter("obs_events_recorded").Add(r.ObsEventsRecorded)
 	reg.Counter("obs_events_dropped").Add(r.ObsEventsDropped)
 	reg.Counter("obs_open_spans_flushed").Add(r.ObsOpenSpansFlushed)
