@@ -59,15 +59,19 @@ bench-smoke:
 
 # Benchmark-trajectory harness: run the simulator-speed benchmarks once
 # with -benchmem and record ns/op, allocs/op and sim_cycles/s per
-# benchmark into BENCH_7.json via cmd/benchjson. The file is committed,
-# so speed regressions show up as diffs.
+# benchmark into BENCH_8.json via cmd/benchjson. The file is committed,
+# so speed regressions show up as diffs; -baseline additionally fails
+# the run when sim_cycles/s fell more than 10% below the previous PR's
+# record (BENCH_7.json).
 bench-json:
 	$(GO) test -run '^$$' -bench SimulatorSpeed -benchmem -benchtime 1x . \
-		| $(GO) run ./cmd/benchjson -o BENCH_7.json
+		| $(GO) run ./cmd/benchjson -o BENCH_8.json -baseline BENCH_7.json
 
-# Validate the committed trajectory record (CI smoke gate).
+# Validate the committed trajectory record and gate it against the
+# previous PR's record (CI smoke gate; deterministic — compares the two
+# committed files, no benchmark run).
 bench-json-check:
-	$(GO) run ./cmd/benchjson -check BENCH_7.json
+	$(GO) run ./cmd/benchjson -check BENCH_8.json -baseline BENCH_7.json
 
 clean:
 	$(GO) clean ./...

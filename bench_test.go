@@ -248,6 +248,28 @@ func BenchmarkSimulatorSpeedObs(b *testing.B) {
 	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
 }
 
+// BenchmarkSimulatorSpeedTxFlight is BenchmarkSimulatorSpeed with the
+// flight recorder sampling every transaction (the most expensive
+// setting: every tx carries a flight record, every drain write an
+// issue/durable checkpoint). The sim_cycles/s delta against the
+// Obs-only bench is the full-sampling overhead; the acceptance bound
+// is <3%, and with TxSample 0 the recorder is nil and every hook is a
+// nil-check branch.
+func BenchmarkSimulatorSpeedTxFlight(b *testing.B) {
+	var simCycles uint64
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(workload.RBTree, TCache)
+		cfg.Obs.Enabled = true
+		cfg.Obs.TxSample = 1
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simCycles += res.Cycles
+	}
+	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+}
+
 // BenchmarkSimulatorSpeedMetrics is BenchmarkSimulatorSpeed with the
 // run-wide metrics registry on (histograms at every probe point, no
 // event trace). The sim_cycles/s delta against the plain bench is the

@@ -5,14 +5,20 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench SimulatorSpeed -benchtime 1x -benchmem . | benchjson -o BENCH_7.json
-//	benchjson -check BENCH_7.json     # validate an existing record
+//	go test -run '^$' -bench SimulatorSpeed -benchtime 1x -benchmem . | benchjson -o BENCH_8.json
+//	benchjson -check BENCH_8.json                          # validate an existing record
+//	benchjson -check BENCH_8.json -baseline BENCH_7.json   # + regression gate
 //
 // The parser accepts the standard benchmark line shape — name,
 // iteration count, then (value, unit) pairs — and keeps every unit it
 // sees, including custom b.ReportMetric units. Non-benchmark lines
 // (PASS, ok, goos/goarch headers) pass through to stderr so the human
 // still sees the run.
+//
+// -baseline compares sim_cycles/s against a prior record (in either
+// parse or -check mode) and exits non-zero when any benchmark present
+// in both files regressed by more than -max-regress (default 10%) —
+// the bench regression gate CI runs against the previous PR's record.
 package main
 
 import (
@@ -50,13 +56,19 @@ type Bench struct {
 
 func main() {
 	var (
-		out   = flag.String("o", "", "write the JSON record to this file (empty = stdout)")
-		check = flag.String("check", "", "validate an existing record instead of parsing benchmark output")
+		out        = flag.String("o", "", "write the JSON record to this file (empty = stdout)")
+		check      = flag.String("check", "", "validate an existing record instead of parsing benchmark output")
+		baseline   = flag.String("baseline", "", "compare sim_cycles/s against this prior record; exit non-zero on regression")
+		maxRegress = flag.Float64("max-regress", 0.10, "with -baseline: tolerated fractional sim_cycles/s drop before failing")
 	)
 	flag.Parse()
 
 	if *check != "" {
-		if err := checkFile(*check); err != nil {
+		f, err := checkFile(*check)
+		if err != nil {
+			fatal(err)
+		}
+		if err := gate(f, *baseline, *maxRegress); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("benchjson: %s ok\n", *check)
@@ -74,12 +86,65 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(f.Benchmarks))
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := gate(f, *baseline, *maxRegress); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(f.Benchmarks))
+}
+
+// gate fails (non-nil error) when any benchmark present in both f and
+// the baseline record dropped its sim_cycles/s by more than maxRegress.
+// An empty baseline path is a no-op; benchmarks without the metric, or
+// absent from either side, are skipped (renames must not wedge CI).
+func gate(f *File, baselinePath string, maxRegress float64) error {
+	if baselinePath == "" {
+		return nil
+	}
+	base, err := checkFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	const metric = "sim_cycles/s"
+	baseBy := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		if v, ok := b.Metrics[metric]; ok && v > 0 {
+			baseBy[b.Name] = v
+		}
+	}
+	compared := 0
+	var regressions []string
+	for _, b := range f.Benchmarks {
+		was, ok := baseBy[b.Name]
+		if !ok {
+			continue
+		}
+		now, ok := b.Metrics[metric]
+		if !ok {
+			continue
+		}
+		compared++
+		drop := (was - now) / was
+		fmt.Fprintf(os.Stderr, "benchjson: %-40s %s %12.0f -> %12.0f (%+.1f%%)\n",
+			b.Name, metric, was, now, -drop*100)
+		if drop > maxRegress {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %s fell %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
+					b.Name, metric, drop*100, was, now, maxRegress*100))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("benchjson: no benchmark in common with %s carries %s", baselinePath, metric)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchjson: %s regression vs %s:\n  %s",
+			metric, baselinePath, strings.Join(regressions, "\n  "))
+	}
+	return nil
 }
 
 // parse reads benchmark output from r, echoing non-benchmark lines to
@@ -150,35 +215,35 @@ func parseLine(line string) (Bench, bool) {
 
 // checkFile validates a committed record: parseable JSON of the right
 // schema, at least one benchmark, every benchmark named with positive
-// iterations and an ns/op measurement. It is the CI smoke gate for
-// BENCH_7.json.
-func checkFile(path string) error {
+// iterations and an ns/op measurement. It is the CI smoke gate for the
+// committed trajectory records (BENCH_7.json, BENCH_8.json).
+func checkFile(path string) (*File, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var f File
 	if err := json.Unmarshal(data, &f); err != nil {
-		return fmt.Errorf("benchjson: %s: %w", path, err)
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
 	}
 	if f.Schema != schemaVersion {
-		return fmt.Errorf("benchjson: %s: schema %d, want %d", path, f.Schema, schemaVersion)
+		return nil, fmt.Errorf("benchjson: %s: schema %d, want %d", path, f.Schema, schemaVersion)
 	}
 	if len(f.Benchmarks) == 0 {
-		return fmt.Errorf("benchjson: %s: no benchmarks", path)
+		return nil, fmt.Errorf("benchjson: %s: no benchmarks", path)
 	}
 	for i, b := range f.Benchmarks {
 		if b.Name == "" {
-			return fmt.Errorf("benchjson: %s: benchmark %d has no name", path, i)
+			return nil, fmt.Errorf("benchjson: %s: benchmark %d has no name", path, i)
 		}
 		if b.Iterations <= 0 {
-			return fmt.Errorf("benchjson: %s: %s: iterations = %d", path, b.Name, b.Iterations)
+			return nil, fmt.Errorf("benchjson: %s: %s: iterations = %d", path, b.Name, b.Iterations)
 		}
 		if _, ok := b.Metrics["ns/op"]; !ok {
-			return fmt.Errorf("benchjson: %s: %s: missing ns/op", path, b.Name)
+			return nil, fmt.Errorf("benchjson: %s: %s: missing ns/op", path, b.Name)
 		}
 	}
-	return nil
+	return &f, nil
 }
 
 func fatal(err error) {

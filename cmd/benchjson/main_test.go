@@ -95,7 +95,7 @@ func TestCheckFile(t *testing.T) {
 	good := File{Schema: schemaVersion, Benchmarks: []Bench{
 		{Name: "SimulatorSpeed", Iterations: 1, Metrics: map[string]float64{"ns/op": 1e8}},
 	}}
-	if err := checkFile(write("good.json", good)); err != nil {
+	if _, err := checkFile(write("good.json", good)); err != nil {
 		t.Errorf("valid record rejected: %v", err)
 	}
 	for name, bad := range map[string]File{
@@ -106,11 +106,63 @@ func TestCheckFile(t *testing.T) {
 		"nonsop.json": {Schema: schemaVersion, Benchmarks: []Bench{
 			{Name: "X", Iterations: 1, Metrics: map[string]float64{"B/op": 1}}}},
 	} {
-		if err := checkFile(write(name, bad)); err == nil {
+		if _, err := checkFile(write(name, bad)); err == nil {
 			t.Errorf("%s: invalid record accepted", name)
 		}
 	}
-	if err := checkFile(filepath.Join(dir, "missing.json")); err == nil {
+	if _, err := checkFile(filepath.Join(dir, "missing.json")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestGate pins the regression gate: sim_cycles/s may drop up to the
+// tolerance against the baseline, a larger drop fails and names the
+// benchmark, speedups always pass, and disjoint benchmark sets error
+// rather than silently gating nothing.
+func TestGate(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string, cyclesPerSec ...float64) string {
+		f := File{Schema: schemaVersion}
+		names := []string{"SimulatorSpeed", "SimulatorSpeedMetrics"}
+		for i, c := range cyclesPerSec {
+			f.Benchmarks = append(f.Benchmarks, Bench{
+				Name: names[i], Iterations: 1,
+				Metrics: map[string]float64{"ns/op": 1, "sim_cycles/s": c},
+			})
+		}
+		data, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	baseline := mk("base.json", 100e6, 50e6)
+	cur := &File{Schema: schemaVersion, Benchmarks: []Bench{
+		{Name: "SimulatorSpeed", Iterations: 1,
+			Metrics: map[string]float64{"ns/op": 1, "sim_cycles/s": 95e6}},
+		{Name: "SimulatorSpeedMetrics", Iterations: 1,
+			Metrics: map[string]float64{"ns/op": 1, "sim_cycles/s": 60e6}},
+	}}
+	if err := gate(cur, baseline, 0.10); err != nil {
+		t.Errorf("5%% slowdown within 10%% tolerance rejected: %v", err)
+	}
+	cur.Benchmarks[0].Metrics["sim_cycles/s"] = 80e6
+	err := gate(cur, baseline, 0.10)
+	if err == nil || !strings.Contains(err.Error(), "SimulatorSpeed") {
+		t.Errorf("20%% slowdown passed the 10%% gate: %v", err)
+	}
+	disjoint := &File{Schema: schemaVersion, Benchmarks: []Bench{
+		{Name: "Elsewhere", Iterations: 1,
+			Metrics: map[string]float64{"ns/op": 1, "sim_cycles/s": 1}},
+	}}
+	if err := gate(disjoint, baseline, 0.10); err == nil {
+		t.Error("gate with no benchmarks in common reported success")
+	}
+	if err := gate(cur, filepath.Join(dir, "missing.json"), 0.10); err == nil {
+		t.Error("gate with unreadable baseline reported success")
 	}
 }

@@ -47,6 +47,7 @@ func main() {
 		parKernel = flag.Int("par-kernel", 0, "tick cores on N worker goroutines between quiescence barriers (0 = serial kernel; results are byte-identical either way)")
 		progress  = flag.Bool("progress", false, "render a live one-line grid status (cells/s, busy workers, ETA) instead of per-cell results")
 		metrics   = flag.Bool("metrics", false, "enable the per-run metrics registry and print latency-percentile tables after the figures")
+		txSample  = flag.Uint64("tx-sample", 0, "flight-record every Nth transaction per core (1 = all, 0 = off) and print the per-cell stage-breakdown table")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof format) to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -102,6 +103,10 @@ func main() {
 		cfg.NoFastForward = *noFF
 		cfg.ParWorkers = *parKernel
 		cfg.Obs.Metrics = *metrics
+		if *txSample > 0 {
+			cfg.Obs.Enabled = true
+			cfg.Obs.TxSample = *txSample
+		}
 		return cfg
 	}
 
@@ -156,6 +161,10 @@ func main() {
 	}
 	if *metrics {
 		fmt.Print(grid.TxLatencyP99().Table())
+		fmt.Println()
+	}
+	if *txSample > 0 {
+		fmt.Print(grid.StageBreakdown())
 		fmt.Println()
 	}
 	fmt.Print(grid.Summary())

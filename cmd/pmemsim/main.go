@@ -6,12 +6,17 @@
 //	pmemsim -bench rbtree -mech tcache [-ops 12000] [-scale 64] \
 //	        [-cores 4] [-seed 1] [-tc 4096] [-paper] [-v] \
 //	        [-trace-out trace.json] [-metrics-out metrics.csv] \
-//	        [-sample-every 1000]
+//	        [-sample-every 1000] [-tx-sample N]
 //
 // -trace-out writes a Chrome trace_event JSON (open in
 // chrome://tracing or https://ui.perfetto.dev); -metrics-out writes a
 // time-series CSV sampled every -sample-every cycles. Either flag turns
-// the observability layer on.
+// the observability layer on, as does -tx-sample N, which additionally
+// flight-records every Nth transaction per core: each sampled
+// transaction's lifecycle is broken into an exact stage waterfall
+// (execute, commit-wait, tc-drain, wpq-wait, nvm-write), printed as an
+// aggregate and exported into the trace as stage spans stitched by
+// flow events.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"pmemaccel"
 	"pmemaccel/internal/cpu"
 	"pmemaccel/internal/mechanism"
+	"pmemaccel/internal/obs"
 	"pmemaccel/internal/prof"
 	"pmemaccel/internal/workload"
 )
@@ -51,6 +57,7 @@ func main() {
 		metricsOut  = flag.String("metrics-out", "", "write a sampled time-series CSV to this file (enables observability)")
 		sampleEvery = flag.Uint64("sample-every", 1000, "sampling period in cycles for -metrics-out")
 		metrics     = flag.Bool("metrics", false, "enable the run-wide metrics registry and print its percentile table")
+		txSample    = flag.Uint64("tx-sample", 0, "flight-record every Nth transaction per core (1 = all, 0 = off; enables observability)")
 		noFF        = flag.Bool("no-ff", false, "disable quiescence fast-forward (step every cycle; same results, slower)")
 		parKernel   = flag.Int("par-kernel", 0, "tick cores on N worker goroutines between quiescence barriers (0 = serial kernel; results are byte-identical either way)")
 
@@ -107,13 +114,14 @@ func main() {
 	cfg.Seed = *seed
 	cfg.NoFastForward = *noFF
 	cfg.ParWorkers = *parKernel
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *txSample > 0 {
 		cfg.Obs.Enabled = true
 		if *metricsOut != "" {
 			cfg.Obs.SampleEvery = *sampleEvery
 		}
 	}
 	cfg.Obs.Metrics = *metrics
+	cfg.Obs.TxSample = *txSample
 	// Validate here, before the (possibly long) run, so a bad flag
 	// combination fails with the specific complaint instead of deep in
 	// construction.
@@ -156,6 +164,13 @@ func main() {
 	fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Millisecond))
 	if res.Metrics != nil {
 		fmt.Printf("\n%s", res.Metrics.Table())
+	}
+	if a := res.TxFlight; a != nil {
+		fmt.Printf("\ntx flight: %d sampled, %d fallback, %d open; mean e2e %.1f cy\n",
+			a.Sampled, a.Fallbacks, a.Open, a.MeanE2E())
+		for i, name := range obs.TxStageNames {
+			fmt.Printf("  %-12s %9.1f cy   critical in %d tx\n", name, a.MeanStage(i), a.CritCount[i])
+		}
 	}
 
 	if *verbose {

@@ -11,12 +11,17 @@
 //	tracedump -bench btree -stats            # composition summary only
 //	tracedump -trace run.json -summary       # per-kind duration percentiles
 //	tracedump -trace run.json -kind tc-drain -n 20
+//	tracedump -trace run.json -flow          # list flight-recorder chains
+//	tracedump -trace run.json -tx 17         # one tx's stage waterfall
+//	tracedump -trace run.json -check-flows   # CI gate: flows well-formed, no drops
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"pmemaccel/internal/mechanism"
 	"pmemaccel/internal/memaddr"
@@ -41,20 +46,23 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		statsOnly = flag.Bool("stats", false, "print composition summary only")
 
-		traceFile = flag.String("trace", "", "read a Chrome trace JSON (pmemsim -trace-out) instead of generating a workload trace")
-		kind      = flag.String("kind", "", "with -trace: keep only events of this kind (e.g. tx, tc-drain, wpq-drain)")
-		summary   = flag.Bool("summary", false, "with -trace: print per-kind counts and duration percentiles")
+		traceFile  = flag.String("trace", "", "read a Chrome trace JSON (pmemsim -trace-out) instead of generating a workload trace")
+		kind       = flag.String("kind", "", "with -trace: keep only events of this kind (e.g. tx, tc-drain, wpq-drain)")
+		summary    = flag.Bool("summary", false, "with -trace: print per-kind counts and duration percentiles")
+		txID       = flag.Int64("tx", -1, "with -trace: print one transaction's flight-recorded span chain as an indented waterfall (matches the tx id on any core)")
+		flows      = flag.Bool("flow", false, "with -trace: list every flight-recorder flow chain (one line per sampled transaction)")
+		checkFlows = flag.Bool("check-flows", false, "with -trace: validate flow-event well-formedness and zero per-kind ring drops; non-zero exit on violation")
 	)
 	flag.Parse()
 
 	if *traceFile != "" {
-		if err := dumpChromeTrace(*traceFile, *kind, *summary, *n, *skip); err != nil {
+		if err := dumpChromeTrace(*traceFile, *kind, *summary, *txID, *flows, *checkFlows, *n, *skip); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	if *kind != "" || *summary {
-		fatal(fmt.Errorf("-kind and -summary need -trace <file>"))
+	if *kind != "" || *summary || *txID >= 0 || *flows || *checkFlows {
+		fatal(fmt.Errorf("-kind, -summary, -tx, -flow and -check-flows need -trace <file>"))
 	}
 
 	b, err := workload.ParseBenchmark(*benchName)
@@ -144,7 +152,7 @@ func format(r trace.Record) string {
 // per-kind summary: spans aggregate into duration histograms —
 // count/mean/p50/p90/p99/max rows via the metrics package — and
 // instants into counters.
-func dumpChromeTrace(path, kind string, summary bool, n, skip int) error {
+func dumpChromeTrace(path, kind string, summary bool, txID int64, flows, checkFlows bool, n, skip int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -153,6 +161,12 @@ func dumpChromeTrace(path, kind string, summary bool, n, skip int) error {
 	data, err := obs.ReadChromeTrace(f)
 	if err != nil {
 		return err
+	}
+	if checkFlows {
+		return checkFlowHealth(path, data)
+	}
+	if txID >= 0 || flows {
+		return dumpFlows(path, data, txID, n, skip)
 	}
 	events := data.Events
 	if kind != "" {
@@ -196,6 +210,98 @@ func dumpChromeTrace(path, kind string, summary bool, n, skip int) error {
 				i, e.Ts, "instant", e.Name, e.Pid, e.Tid, e.Args["id"], e.Args["arg"])
 		}
 	}
+	return nil
+}
+
+// stageSpans groups the flight recorder's stage spans by flow id, in
+// first-appearance order. Spans within a chain are kept in file order,
+// which WriteChromeTrace emits sorted by start time.
+func stageSpans(data *obs.ChromeTraceData) (map[uint64][]obs.ChromeEvent, []uint64) {
+	chains := map[uint64][]obs.ChromeEvent{}
+	var order []uint64
+	for _, e := range data.Events {
+		if !e.Span() || !strings.HasPrefix(e.Name, "stage:") {
+			continue
+		}
+		id, ok := e.Args["id"]
+		if !ok {
+			continue
+		}
+		if _, seen := chains[id]; !seen {
+			order = append(order, id)
+		}
+		chains[id] = append(chains[id], e)
+	}
+	return chains, order
+}
+
+// dumpFlows renders the flight recorder's stitched transaction chains.
+// With tx >= 0 it prints each matching transaction (the tx id on any
+// core) as an indented waterfall; otherwise it lists one summary line
+// per sampled transaction, honoring -skip/-n. Flow ids encode
+// (core<<40 | tx id).
+func dumpFlows(path string, data *obs.ChromeTraceData, tx int64, n, skip int) error {
+	chains, order := stageSpans(data)
+	if len(order) == 0 {
+		return fmt.Errorf("%s has no flight-recorder stage spans (run pmemsim with -tx-sample)", path)
+	}
+	const txMask = uint64(1)<<40 - 1
+	matched := 0
+	for _, id := range order {
+		core, txID := id>>40, id&txMask
+		if tx >= 0 && txID != uint64(tx) {
+			continue
+		}
+		matched++
+		if tx < 0 && (matched <= skip || matched > skip+n) {
+			continue
+		}
+		ch := chains[id]
+		first, last := ch[0], ch[len(ch)-1]
+		e2e := last.Ts + last.Dur - first.Ts
+		if tx < 0 {
+			fmt.Printf("core %2d tx %6d  flow %12d  %d stages  %8d cy  [%d..%d]\n",
+				core, txID, id, len(ch), e2e, first.Ts, last.Ts+last.Dur)
+			continue
+		}
+		fmt.Printf("core %d tx %d (flow %d): %d stages, %d cycles end-to-end\n",
+			core, txID, id, len(ch), e2e)
+		for i, e := range ch {
+			fmt.Printf("%s%-14s %10d .. %-10d (%d cy)\n",
+				strings.Repeat("  ", i+1), strings.TrimPrefix(e.Name, "stage:"),
+				e.Ts, e.Ts+e.Dur, e.Dur)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("%s has no flight-recorded transaction with tx id %d", path, tx)
+	}
+	return nil
+}
+
+// checkFlowHealth is the CI smoke gate: flow events must be well-formed
+// (obs.ValidateFlows) and the ring must not have dropped events of any
+// kind — a dropped stage span would leave a dangling flow arrow.
+func checkFlowHealth(path string, data *obs.ChromeTraceData) error {
+	if err := obs.ValidateFlows(data); err != nil {
+		return err
+	}
+	flows := 0
+	for _, e := range data.Events {
+		if e.Ph == "s" {
+			flows++
+		}
+	}
+	var drops []string
+	for k, v := range data.OtherData {
+		if strings.HasPrefix(k, "dropped_") && v != "0" {
+			drops = append(drops, k+"="+v)
+		}
+	}
+	sort.Strings(drops)
+	if len(drops) > 0 {
+		return fmt.Errorf("%s: ring dropped events (%s); the trace is a suffix of the run", path, strings.Join(drops, " "))
+	}
+	fmt.Printf("%s: %d flow chains well-formed, zero per-kind drops\n", path, flows)
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"pmemaccel/internal/cpu"
 	"pmemaccel/internal/obs/metrics"
+	"pmemaccel/internal/obs/txflight"
 )
 
 // Export is the JSON-friendly projection of a Result, for downstream
@@ -69,6 +70,11 @@ type Export struct {
 	ObsEventsRecorded   uint64 `json:"obs_events_recorded,omitempty"`
 	ObsEventsDropped    uint64 `json:"obs_events_dropped,omitempty"`
 	ObsOpenSpansFlushed uint64 `json:"obs_open_spans_flushed,omitempty"`
+
+	// TxFlight is the flight recorder's sampled-transaction aggregate
+	// (per-stage cycle sums, critical-stage counts, end-to-end total).
+	// Present only when the run enabled Config.Obs.TxSample.
+	TxFlight *txflight.Aggregate `json:"tx_flight,omitempty"`
 }
 
 // Export builds the JSON projection.
@@ -107,6 +113,7 @@ func (r *Result) Export() Export {
 		ObsEventsRecorded:   r.ObsEventsRecorded,
 		ObsEventsDropped:    r.ObsEventsDropped,
 		ObsOpenSpansFlushed: r.ObsOpenSpansFlushed,
+		TxFlight:            r.TxFlight,
 	}
 	if len(r.PerNVMChannel) > 1 {
 		e.NVMChannelWrites = make([]uint64, len(r.PerNVMChannel))

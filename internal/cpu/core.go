@@ -13,6 +13,7 @@ import (
 	"pmemaccel/internal/memaddr"
 	"pmemaccel/internal/obs"
 	"pmemaccel/internal/obs/metrics"
+	"pmemaccel/internal/obs/txflight"
 	"pmemaccel/internal/sim"
 	"pmemaccel/internal/trace"
 )
@@ -200,6 +201,10 @@ type Core struct {
 	hTxLat      *metrics.Histogram
 	hCommitWait *metrics.Histogram
 
+	// fr is the transaction flight recorder (nil when sampling is off):
+	// the core marks flight begin and commit checkpoints.
+	fr *txflight.Recorder
+
 	stats Stats
 }
 
@@ -225,6 +230,10 @@ func (c *Core) ID() int { return c.id }
 
 // SetProbe attaches the observability recorder (nil disables probing).
 func (c *Core) SetProbe(p *obs.Probe) { c.probe = p }
+
+// SetFlight attaches the transaction flight recorder (nil disables
+// flight sampling).
+func (c *Core) SetFlight(fr *txflight.Recorder) { c.fr = fr }
 
 // SetMetrics attaches the streaming histograms for transaction latency
 // (TX_BEGIN retirement to commit completion) and commit-wait stalls
@@ -383,6 +392,14 @@ func (c *Core) Tick(now uint64) {
 		case trace.KindTxBegin:
 			c.mode = c.cur.TxID
 			c.txStart = now
+			if c.fr.Sampled(c.cur.TxID) {
+				txID := c.cur.TxID
+				if c.k.Deferring() {
+					c.k.Defer(func() { c.fr.Begin(c.id, txID, now) })
+				} else {
+					c.fr.Begin(c.id, txID, now)
+				}
+			}
 			c.pers.TxBegin(c.id, c.cur.TxID)
 			c.stats.Instructions++
 			budget--
@@ -409,6 +426,9 @@ func (c *Core) Tick(now uint64) {
 				c.probe.Span(obs.KTx, c.id, id, txStart, end, 0)
 				c.hCommitWait.Observe(end - now)
 				c.hTxLat.Observe(end - txStart)
+				// Resume fires from a kernel event on the coordinator,
+				// so the flight commit records directly.
+				c.fr.Commit(c.id, id, now, end)
 				c.finishCheck()
 			}) {
 				c.commitWait = true
@@ -416,9 +436,19 @@ func (c *Core) Tick(now uint64) {
 				return
 			}
 			c.stats.Transactions++
-			c.probe.Span(obs.KTx, c.id, id, txStart, now, 0)
-			c.hCommitWait.Observe(0)
-			c.hTxLat.Observe(now - txStart)
+			if c.k.Deferring() {
+				if c.probe != nil || c.fr != nil {
+					c.k.Defer(func() {
+						c.probe.Span(obs.KTx, c.id, id, txStart, now, 0)
+						c.fr.Commit(c.id, id, now, now)
+					})
+				}
+			} else {
+				c.probe.Span(obs.KTx, c.id, id, txStart, now, 0)
+				c.hCommitWait.Observe(0)
+				c.hTxLat.Observe(now - txStart)
+				c.fr.Commit(c.id, id, now, now)
+			}
 			budget--
 
 		case trace.KindCLWB, trace.KindCLFlush:

@@ -9,6 +9,7 @@ import (
 
 	"pmemaccel"
 	"pmemaccel/internal/cpu"
+	"pmemaccel/internal/obs"
 	"pmemaccel/internal/obs/metrics"
 	"pmemaccel/internal/stats"
 	"pmemaccel/internal/sweep"
@@ -287,6 +288,39 @@ func (g *Grid) HistogramSeries(title, name string,
 func (g *Grid) TxLatencyP99() *stats.Series {
 	return g.HistogramSeries("Transaction latency p99 (cycles)", "tx_latency_cycles",
 		func(h metrics.HistogramSnapshot) float64 { return float64(h.P99) })
+}
+
+// StageBreakdown renders the flight recorder's per-cell transaction
+// waterfall: mean cycles per lifecycle stage (execute, commit-wait,
+// tc-drain, wpq-wait, nvm-write), the mean end-to-end latency they sum
+// to, and the sampled-transaction count, one row per benchmark x
+// mechanism cell. Cells without a flight aggregate (runs configured
+// without Obs.TxSample) are skipped; the empty string means no cell
+// sampled.
+func (g *Grid) StageBreakdown() string {
+	cols := append(append([]string{}, obs.TxStageNames[:]...), "e2e", "sampled")
+	var rows []string
+	var vals [][]float64
+	for _, bench := range g.Benchs {
+		for _, m := range g.Mechs {
+			r := g.Results[bench][m]
+			if r == nil || r.TxFlight == nil {
+				continue
+			}
+			a := r.TxFlight
+			row := make([]float64, 0, len(cols))
+			for i := range obs.TxStageNames {
+				row = append(row, a.MeanStage(i))
+			}
+			row = append(row, a.MeanE2E(), float64(a.Sampled))
+			rows = append(rows, fmt.Sprintf("%v/%v", bench, m))
+			vals = append(vals, row)
+		}
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	return stats.Crosstab("Transaction lifecycle stage breakdown (mean cycles per sampled tx)", rows, cols, vals)
 }
 
 // Summary renders the headline comparison the paper's abstract quotes:

@@ -24,6 +24,7 @@ import (
 	"pmemaccel/internal/memimage"
 	"pmemaccel/internal/obs"
 	"pmemaccel/internal/obs/metrics"
+	"pmemaccel/internal/obs/txflight"
 	"pmemaccel/internal/sim"
 	"pmemaccel/internal/trace"
 	"pmemaccel/internal/txcache"
@@ -146,6 +147,10 @@ type Env struct {
 	// drain-burst histograms, its fall-back counter); a nil registry
 	// hands out nil metrics, the zero-overhead path.
 	Metrics *metrics.Registry
+	// Flight is the transaction flight recorder, nil when sampling is
+	// off. Mechanisms that build TCs hand it down so drain writes carry
+	// flight checkpoints; the fall-back path marks sampled flights.
+	Flight *txflight.Recorder
 }
 
 // Mechanism is the strategy interface.

@@ -71,6 +71,7 @@ func newTCache(env *Env) Mechanism {
 	for c := 0; c < env.Cores; c++ {
 		tc := txcache.New(env.Ctxs[c], env.TC, env.Mem, durableApply)
 		tc.SetProbe(env.Probe, c)
+		tc.SetFlight(env.Flight)
 		// Drain-burst histograms are run-wide (shared across cores):
 		// the paper's claim is about the burst distribution, not any
 		// one core's. A nil registry hands out nil histograms.
@@ -145,6 +146,15 @@ func (m *tcMech) Store(core int, txID uint64, addr, value uint64) cpu.StoreActio
 		m.fbTx[core] = txID
 		m.fallbackTxs[core]++
 		m.cFallback.Inc()
+		if fr := m.env.Flight; fr.Sampled(txID) {
+			// Store runs on the core's worker under the parallel kernel;
+			// the flight mark journals through the core's context.
+			if x := m.env.Ctxs[core]; x.Deferring() {
+				x.Defer(func() { fr.MarkFallback(core, txID) })
+			} else {
+				fr.MarkFallback(core, txID)
+			}
+		}
 		// The whole transaction moves to the copy-on-write path: its
 		// TC-resident entries are evicted into the shadow first (in
 		// program order), so no word of this transaction has updates

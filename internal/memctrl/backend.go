@@ -7,6 +7,7 @@ import (
 	"pmemaccel/internal/memaddr"
 	"pmemaccel/internal/obs"
 	"pmemaccel/internal/obs/metrics"
+	"pmemaccel/internal/obs/txflight"
 	"pmemaccel/internal/sim"
 )
 
@@ -136,15 +137,26 @@ func (b *Backend) channelIndex(off uint64, n int) int {
 // address outside every mapped space. Log-region addresses interleave
 // across the NVM channels like data-region ones.
 func (b *Backend) For(addr uint64) (*Controller, error) {
+	c, _, err := b.forWithID(addr)
+	return c, err
+}
+
+// forWithID resolves addr to its controller plus the global channel id
+// used by SetProbe's track numbering: NVM channels 0..N-1, DRAM
+// channels N..N+M-1.
+func (b *Backend) forWithID(addr uint64) (*Controller, int, error) {
 	switch memaddr.Classify(addr) {
 	case memaddr.SpaceDRAM:
-		return b.dram[b.channelIndex(addr-memaddr.DRAMBase, len(b.dram))], nil
+		i := b.channelIndex(addr-memaddr.DRAMBase, len(b.dram))
+		return b.dram[i], len(b.nvm) + i, nil
 	case memaddr.SpaceNVM:
-		return b.nvm[b.channelIndex(addr-memaddr.NVMBase, len(b.nvm))], nil
+		i := b.channelIndex(addr-memaddr.NVMBase, len(b.nvm))
+		return b.nvm[i], i, nil
 	case memaddr.SpaceNVMLog:
-		return b.nvm[b.channelIndex(addr-memaddr.NVMLogBase, len(b.nvm))], nil
+		i := b.channelIndex(addr-memaddr.NVMLogBase, len(b.nvm))
+		return b.nvm[i], i, nil
 	default:
-		return nil, fmt.Errorf("memctrl: request for unmapped address %#x (mapped: DRAM [%#x,...), NVM [%#x,...), NVMLog [%#x,...))",
+		return nil, -1, fmt.Errorf("memctrl: request for unmapped address %#x (mapped: DRAM [%#x,...), NVM [%#x,...), NVMLog [%#x,...))",
 			addr, memaddr.DRAMBase, memaddr.NVMBase, memaddr.NVMLogBase)
 	}
 }
@@ -182,6 +194,24 @@ func (b *Backend) Write(lineAddr uint64, apply, onDurable func()) {
 		return
 	}
 	c.Write(lineAddr, apply, onDurable)
+}
+
+// WriteTracked enqueues a line write like Write, additionally marking
+// the flight-recorder write w (may be nil) with its service-start cycle
+// and the owning channel's global id (NVM 0..N-1, DRAM N..N+M-1, the
+// SetProbe track numbering). Faulted requests never mark w — the flight
+// recorder treats the missing checkpoint defensively.
+func (b *Backend) WriteTracked(lineAddr uint64, apply, onDurable func(), w *txflight.Write) {
+	c, id, err := b.forWithID(lineAddr)
+	if err != nil {
+		b.recordFault(err, onDurable)
+		return
+	}
+	if w == nil {
+		c.Write(lineAddr, apply, onDurable)
+		return
+	}
+	c.WriteTracked(lineAddr, apply, onDurable, w, id)
 }
 
 // PendingNVMWrites reports queued, unissued writes summed across the NVM

@@ -18,6 +18,7 @@ import (
 
 	"pmemaccel/internal/obs"
 	"pmemaccel/internal/obs/metrics"
+	"pmemaccel/internal/obs/txflight"
 	"pmemaccel/internal/sim"
 )
 
@@ -111,6 +112,8 @@ type request struct {
 	row     uint64
 	apply   func()
 	done    func()
+	trk     *txflight.Write
+	trkChan int
 	enqueue uint64
 }
 
@@ -228,6 +231,22 @@ func (c *Controller) Write(lineAddr uint64, apply, onDurable func()) {
 	}
 }
 
+// WriteTracked enqueues a line write like Write, additionally marking
+// the flight-recorder write w (may be nil) with the cycle the scheduler
+// starts servicing it and the channel id — the recorder's
+// WPQ-wait/NVM-write stage boundary. Taking the concrete *txflight.Write
+// rather than a callback keeps the tracked path free of per-write
+// closure allocations.
+func (c *Controller) WriteTracked(lineAddr uint64, apply, onDurable func(), w *txflight.Write, channel int) {
+	c.writes = append(c.writes, request{
+		lineAddr: lineAddr, bank: c.bankOf(lineAddr), row: c.rowOf(lineAddr),
+		apply: apply, done: onDurable, trk: w, trkChan: channel, enqueue: c.k.Now(),
+	})
+	if len(c.writes) > c.stats.WriteQueuePeak {
+		c.stats.WriteQueuePeak = len(c.writes)
+	}
+}
+
 func (c *Controller) bankOf(lineAddr uint64) int {
 	return int((lineAddr / 64) % uint64(c.cfg.Banks))
 }
@@ -291,6 +310,9 @@ func (c *Controller) issue(q *[]request, idx int, isWrite bool, now uint64) {
 		c.stats.Reads++
 	}
 	c.inFlight++
+	if r.trk != nil {
+		r.trk.ServiceStart(r.trkChan, now)
+	}
 	req := r
 	c.k.Schedule(lat, func() {
 		c.inFlight--

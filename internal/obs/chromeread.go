@@ -15,6 +15,7 @@ type ChromeEvent struct {
 	Ph       string
 	Ts, Dur  uint64
 	Pid, Tid int
+	ID       string
 	Args     map[string]uint64
 }
 
@@ -44,6 +45,7 @@ func ReadChromeTrace(r io.Reader) (*ChromeTraceData, error) {
 			Dur  uint64          `json:"dur"`
 			Pid  int             `json:"pid"`
 			Tid  int             `json:"tid"`
+			ID   json.RawMessage `json:"id"`
 			Args json.RawMessage `json:"args"`
 		} `json:"traceEvents"`
 		OtherData map[string]string `json:"otherData"`
@@ -57,6 +59,13 @@ func ReadChromeTrace(r io.Reader) (*ChromeTraceData, error) {
 			continue
 		}
 		ev := ChromeEvent{Name: e.Name, Ph: e.Ph, Ts: e.Ts, Dur: e.Dur, Pid: e.Pid, Tid: e.Tid}
+		if len(e.ID) > 0 {
+			// Flow/async ids may be JSON strings or numbers; normalize
+			// to the unquoted text either way.
+			if err := json.Unmarshal(e.ID, &ev.ID); err != nil {
+				ev.ID = string(e.ID)
+			}
+		}
 		if len(e.Args) > 0 {
 			// Best-effort: our data events carry numeric args; other
 			// writers' string args are simply omitted.
@@ -65,4 +74,64 @@ func ReadChromeTrace(r io.Reader) (*ChromeTraceData, error) {
 		out.Events = append(out.Events, ev)
 	}
 	return out, nil
+}
+
+// ValidateFlows checks the well-formedness of flow events in a parsed
+// trace: every flow id carries at least two events, exactly one start
+// ("s", first) and one finish ("f", last), timestamps non-decreasing
+// along the chain, and each flow event anchored to a complete ("X")
+// span at the same pid/tid/ts — the shape WriteChromeTrace emits for
+// flight-recorder stage chains. A trace with no flow events validates
+// trivially.
+func ValidateFlows(data *ChromeTraceData) error {
+	type key struct {
+		pid, tid int
+		ts       uint64
+	}
+	spans := map[key]bool{}
+	for _, e := range data.Events {
+		if e.Span() {
+			spans[key{e.Pid, e.Tid, e.Ts}] = true
+		}
+	}
+	chains := map[string][]ChromeEvent{}
+	var order []string
+	for _, e := range data.Events {
+		switch e.Ph {
+		case "s", "t", "f":
+			if e.ID == "" {
+				return fmt.Errorf("obs: flow event %q (ph %q) has no id", e.Name, e.Ph)
+			}
+			if _, ok := chains[e.ID]; !ok {
+				order = append(order, e.ID)
+			}
+			chains[e.ID] = append(chains[e.ID], e)
+		}
+	}
+	for _, id := range order {
+		ch := chains[id]
+		if len(ch) < 2 {
+			return fmt.Errorf("obs: flow %s: %d event(s), want at least 2", id, len(ch))
+		}
+		var prev uint64
+		for i, e := range ch {
+			switch {
+			case i == 0 && e.Ph != "s":
+				return fmt.Errorf("obs: flow %s: first event ph %q, want \"s\"", id, e.Ph)
+			case i == len(ch)-1 && e.Ph != "f":
+				return fmt.Errorf("obs: flow %s: last event ph %q, want \"f\"", id, e.Ph)
+			case i > 0 && i < len(ch)-1 && e.Ph != "t":
+				return fmt.Errorf("obs: flow %s: event %d ph %q, want \"t\"", id, i, e.Ph)
+			}
+			if e.Ts < prev {
+				return fmt.Errorf("obs: flow %s: ts %d at event %d precedes %d", id, e.Ts, i, prev)
+			}
+			prev = e.Ts
+			if !spans[key{e.Pid, e.Tid, e.Ts}] {
+				return fmt.Errorf("obs: flow %s: event %d (pid %d tid %d ts %d) has no anchoring span",
+					id, i, e.Pid, e.Tid, e.Ts)
+			}
+		}
+	}
+	return nil
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sort"
 )
 
 // Track (pid) layout of the exported trace. Each probe point maps to a
@@ -29,6 +30,22 @@ var kindTrack = [nKinds]int{
 	KSideProbe:    pidLLC,
 	KTCDrainOpen:  pidTC,
 	KWPQDrainOpen: pidMem,
+	KTxStage:      pidCores, // overridden per stage below
+}
+
+// txStageTrack maps a flight-recorder stage index to its process row:
+// core-side stages render on the core track, the TC drain stage on the
+// TC track, and the memory-side stages on the controller track (their
+// Event.Core is the global channel index).
+func txStageTrack(stage uint64) int {
+	switch {
+	case stage >= 3:
+		return pidMem
+	case stage == 2:
+		return pidTC
+	default:
+		return pidCores
+	}
 }
 
 // chromeEvent is one trace_event JSON object. Cycles are emitted
@@ -36,12 +53,15 @@ var kindTrack = [nKinds]int{
 // displayed microsecond is one simulated cycle.
 type chromeEvent struct {
 	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
 	Ph   string            `json:"ph"`
 	Ts   uint64            `json:"ts"`
 	Dur  uint64            `json:"dur,omitempty"`
 	Pid  int               `json:"pid"`
 	Tid  int               `json:"tid"`
 	S    string            `json:"s,omitempty"`
+	ID   string            `json:"id,omitempty"`
+	BP   string            `json:"bp,omitempty"`
 	Args map[string]uint64 `json:"args,omitempty"`
 }
 
@@ -94,15 +114,38 @@ func (p *Probe) WriteChromeTrace(w io.Writer) error {
 		return nil
 	}
 
+	// Flow stitching: every KTxStage span of one sampled transaction
+	// shares a flow id; the spans are linked with s/t/f flow events so
+	// Perfetto draws the cross-component journey as arrows.
+	type flowPoint struct {
+		ts       uint64
+		pid, tid int
+	}
+	flows := map[uint64][]flowPoint{}
+	var flowOrder []uint64
+
 	for _, e := range events {
 		pid := kindTrack[e.Kind]
 		tid := int(e.Core)
+		name := e.Kind.String()
+		if e.Kind == KTxStage {
+			pid = txStageTrack(e.Arg)
+			if int(e.Arg) < len(TxStageNames) {
+				name = "stage:" + TxStageNames[e.Arg]
+			}
+		}
 		if tid < 0 || pid == pidLLC {
 			tid = 0
 		}
 		rows[row{pid, tid}] = true
+		if e.Kind == KTxStage {
+			if _, seen := flows[e.ID]; !seen {
+				flowOrder = append(flowOrder, e.ID)
+			}
+			flows[e.ID] = append(flows[e.ID], flowPoint{ts: e.Start, pid: pid, tid: tid})
+		}
 		ce := chromeEvent{
-			Name: e.Kind.String(),
+			Name: name,
 			Ts:   e.Start,
 			Pid:  pid,
 			Tid:  tid,
@@ -125,6 +168,34 @@ func (p *Probe) WriteChromeTrace(w io.Writer) error {
 		}
 	}
 
+	// Emit the flow events: one "s" at the first stage span, "t" steps
+	// at the middle ones, one "f" (binding to the enclosing slice) at
+	// the last. Single-span flights carry no arrows and are skipped.
+	for _, id := range flowOrder {
+		pts := flows[id]
+		if len(pts) < 2 {
+			continue
+		}
+		for i, pt := range pts {
+			fe := chromeEvent{
+				Name: "tx-flow", Cat: "tx", Ts: pt.ts,
+				Pid: pt.pid, Tid: pt.tid, ID: itoa64(id),
+			}
+			switch i {
+			case 0:
+				fe.Ph = "s"
+			case len(pts) - 1:
+				fe.Ph = "f"
+				fe.BP = "e"
+			default:
+				fe.Ph = "t"
+			}
+			if err := appendJSON(fe); err != nil {
+				return err
+			}
+		}
+	}
+
 	procNames := map[int]string{
 		pidCores: "cores (tx lifecycle)",
 		pidTC:    "transaction caches",
@@ -132,8 +203,20 @@ func (p *Probe) WriteChromeTrace(w io.Writer) error {
 		pidMem:   "memory controllers",
 	}
 	chanNames := map[int]string{0: "NVM", 1: "DRAM"}
-	seenPid := map[int]bool{}
+	// Metadata rows sorted by (pid, tid) so the exported trace is
+	// byte-for-byte reproducible (map iteration order is not).
+	sorted := make([]row, 0, len(rows))
 	for r := range rows {
+		sorted = append(sorted, r)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].pid != sorted[j].pid {
+			return sorted[i].pid < sorted[j].pid
+		}
+		return sorted[i].tid < sorted[j].tid
+	})
+	seenPid := map[int]bool{}
+	for _, r := range sorted {
 		if !seenPid[r.pid] {
 			seenPid[r.pid] = true
 			if err := appendJSON(meta("process_name", r.pid, 0, procNames[r.pid])); err != nil {
@@ -166,13 +249,18 @@ func (p *Probe) WriteChromeTrace(w io.Writer) error {
 			"open_flushed": itoa64(p.OpenSpansFlushed()),
 		},
 	}
+	for k, n := range p.DroppedByKind() {
+		if n > 0 {
+			final.OtherData["dropped_"+Kind(k).String()] = itoa64(n)
+		}
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(final)
 }
 
 func isSpanKind(k Kind) bool {
 	switch k {
-	case KTx, KCommitWait, KTxFlush, KTCDrain, KWPQDrain, KTCDrainOpen, KWPQDrainOpen:
+	case KTx, KCommitWait, KTxFlush, KTCDrain, KWPQDrain, KTCDrainOpen, KWPQDrainOpen, KTxStage:
 		return true
 	}
 	return false

@@ -79,6 +79,12 @@ const (
 	// still open at probe collection. End is the collection cycle; Arg
 	// is writes issued so far. Emitted by FlushOpenSpans.
 	KWPQDrainOpen
+	// KTxStage is a span: one stage of a sampled transaction's flight
+	// waterfall (internal/obs/txflight). ID is the flow id
+	// (core<<40 | tx id), Arg is the stage index into TxStageNames, and
+	// Core is the core for core-side stages or the global channel index
+	// for memory-side stages.
+	KTxStage
 
 	nKinds
 )
@@ -104,7 +110,16 @@ var kindNames = [nKinds]string{
 	KSideProbe:    "tc-probe",
 	KTCDrainOpen:  "tc-drain-open",
 	KWPQDrainOpen: "wpq-drain-open",
+	KTxStage:      "tx-stage",
 }
+
+// NumKinds is the number of event kinds, for per-kind accounting by
+// external consumers (e.g. tracedump drop summaries).
+const NumKinds = int(nKinds)
+
+// TxStageNames names the flight-recorder waterfall stages in order.
+// KTxStage events carry the stage index in Arg.
+var TxStageNames = [...]string{"execute", "commit-wait", "tc-drain", "wpq-wait", "nvm-write"}
 
 // Event is one recorded trace entry. Spans carry [Start, End]; instants
 // have Start == End. Core is the core (or memory-channel) index, -1 when
@@ -139,6 +154,10 @@ type Probe struct {
 	next   int
 	total  uint64
 
+	// droppedByKind counts ring overwrites per event kind, so a
+	// saturated ring can't silently bias one stage of a waterfall.
+	droppedByKind [nKinds]uint64
+
 	sources     []source
 	samples     []sampleRow
 	sampleEvery uint64
@@ -172,6 +191,7 @@ func (p *Probe) record(e Event) {
 	if len(p.events) < cap(p.events) {
 		p.events = append(p.events, e)
 	} else {
+		p.droppedByKind[p.events[p.next].Kind]++
 		p.events[p.next] = e
 		p.next++
 		if p.next == len(p.events) {
@@ -240,6 +260,17 @@ func (p *Probe) Dropped() uint64 {
 		return 0
 	}
 	return p.total - uint64(len(p.events))
+}
+
+// DroppedByKind reports ring overwrites broken out per event kind,
+// indexed by Kind. The per-kind counts sum to Dropped().
+func (p *Probe) DroppedByKind() []uint64 {
+	if p == nil {
+		return nil
+	}
+	out := make([]uint64, nKinds)
+	copy(out, p.droppedByKind[:])
+	return out
 }
 
 // AddOpenSpanFlusher registers a callback that emits any span the

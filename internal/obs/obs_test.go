@@ -79,6 +79,46 @@ func TestRingOverwrite(t *testing.T) {
 	}
 }
 
+// TestRingOverwriteCountsPerKind: the per-kind drop breakdown
+// attributes each overwrite to the kind of the event it evicted, sums
+// to Dropped(), and survives the Chrome export as dropped_<kind>
+// otherData entries (zero-drop kinds omitted).
+func TestRingOverwriteCountsPerKind(t *testing.T) {
+	p := NewProbe(4)
+	for i := uint64(0); i < 4; i++ {
+		p.Instant(KTCCommit, 0, i, i, 0)
+	}
+	for i := uint64(4); i < 7; i++ {
+		p.Instant(KTCFull, 0, i, i, 0)
+	}
+	by := p.DroppedByKind()
+	if got := by[KTCCommit]; got != 3 {
+		t.Errorf("dropped[tc-commit] = %d, want 3 (the three evicted commits)", got)
+	}
+	var sum uint64
+	for _, n := range by {
+		sum += n
+	}
+	if sum != p.Dropped() {
+		t.Errorf("per-kind drops sum to %d, Dropped() = %d", sum, p.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := p.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"dropped_tc-commit":"3"`) {
+		t.Errorf("otherData lacks dropped_tc-commit: %s", s)
+	}
+	if strings.Contains(s, "dropped_tc-full") {
+		t.Errorf("otherData lists a kind with zero drops: %s", s)
+	}
+
+	if got := (*Probe)(nil).DroppedByKind(); got != nil {
+		t.Errorf("nil probe DroppedByKind = %v, want nil", got)
+	}
+}
+
 // TestEventsSorted: export order is by start cycle even when spans are
 // recorded at end time out of order.
 func TestEventsSorted(t *testing.T) {

@@ -24,6 +24,7 @@ import (
 	"pmemaccel/internal/memaddr"
 	"pmemaccel/internal/obs"
 	"pmemaccel/internal/obs/metrics"
+	"pmemaccel/internal/obs/txflight"
 	"pmemaccel/internal/sim"
 )
 
@@ -84,6 +85,15 @@ const (
 // its address-matched acknowledgments require.
 type Port interface {
 	Write(lineAddr uint64, apply, onDurable func())
+}
+
+// TrackedPort is the optional port capability the flight recorder
+// rides on: a write that additionally marks the flight-recorder write w
+// with its service-start cycle and owning global channel id.
+// memctrl.Backend implements it; timing-only fake ports need not.
+type TrackedPort interface {
+	Port
+	WriteTracked(lineAddr uint64, apply, onDurable func(), w *txflight.Write)
 }
 
 // Config sizes one per-core transaction cache.
@@ -195,6 +205,12 @@ type TxCache struct {
 	hBurstEntries *metrics.Histogram
 	hBurstCycles  *metrics.Histogram
 
+	// fr is the transaction flight recorder (nil when sampling is off);
+	// frPort is the tracked write port it observes drain writes
+	// through. Both are set together by SetFlight.
+	fr     *txflight.Recorder
+	frPort TrackedPort
+
 	stats Stats
 }
 
@@ -232,6 +248,21 @@ func (tc *TxCache) SetProbe(p *obs.Probe, core int) {
 	})
 }
 
+// SetFlight attaches the transaction flight recorder. The tracked
+// write checkpoints (TC issue, service start, durable) need the memory
+// port to support WriteTracked, so the hooks engage only when it does;
+// with a plain Port the recorder still sees commits and the flight
+// simply ends at commit with zero tracked writes.
+func (tc *TxCache) SetFlight(fr *txflight.Recorder) {
+	if fr == nil {
+		return
+	}
+	if tp, ok := tc.mem.(TrackedPort); ok {
+		tc.fr = fr
+		tc.frPort = tp
+	}
+}
+
 // SetMetrics attaches the drain-burst histograms: entries issued per
 // burst and burst duration in cycles. Nil histograms disable the
 // observations; only bursts that close naturally are observed (a burst
@@ -263,18 +294,35 @@ func (tc *TxCache) next(i int) int {
 	return i + 1
 }
 
+// recordInstant records a probe instant at the current cycle. Write and
+// Commit run inside core ticks, which land on worker goroutines under
+// the parallel kernel — there the record is journaled through the
+// shared core/TC context and replayed on the coordinator in
+// registration order, reproducing the serial record sequence exactly.
+func (tc *TxCache) recordInstant(k obs.Kind, txID, arg uint64) {
+	if tc.probe == nil {
+		return
+	}
+	now := tc.k.Now()
+	if tc.k.Deferring() {
+		tc.k.Defer(func() { tc.probe.Instant(k, tc.coreID, txID, now, arg) })
+	} else {
+		tc.probe.Instant(k, tc.coreID, txID, now, arg)
+	}
+}
+
 // Write inserts a buffered store for txID at the head. The result tells
 // the caller whether to proceed normally, take the fall-back path, or
 // stall.
 func (tc *TxCache) Write(txID, addr, value uint64) WriteResult {
 	if tc.count >= len(tc.entries) {
 		tc.stats.FullRejects++
-		tc.probe.Instant(obs.KTCFull, tc.coreID, txID, tc.k.Now(), addr)
+		tc.recordInstant(obs.KTCFull, txID, addr)
 		return Full
 	}
 	if tc.count >= tc.highWater() {
 		tc.stats.FallbackWrites++
-		tc.probe.Instant(obs.KTCFallback, tc.coreID, txID, tc.k.Now(), addr)
+		tc.recordInstant(obs.KTCFallback, txID, addr)
 		return Fallback
 	}
 	e := &tc.entries[tc.head]
@@ -284,7 +332,7 @@ func (tc *TxCache) Write(txID, addr, value uint64) WriteResult {
 		// use holes ("we have to wait for data being written back",
 		// §4.1), so the writer stalls exactly as on a full ring.
 		tc.stats.FullRejects++
-		tc.probe.Instant(obs.KTCFull, tc.coreID, txID, tc.k.Now(), addr)
+		tc.recordInstant(obs.KTCFull, txID, addr)
 		return Full
 	}
 	*e = Entry{State: Active, TxID: txID, Addr: memaddr.WordAddr(addr), Value: value}
@@ -309,7 +357,29 @@ func (tc *TxCache) Commit(txID uint64) {
 			matched++
 		}
 	}
-	tc.probe.Instant(obs.KTCCommit, tc.coreID, txID, tc.k.Now(), matched)
+	if tc.probe == nil && tc.fr == nil {
+		return
+	}
+	now := tc.k.Now()
+	if tc.k.Deferring() {
+		// Journaled before the core's own flight-commit record (same
+		// journal, program order), matching the serial call sequence.
+		tc.k.Defer(func() {
+			tc.probe.Instant(obs.KTCCommit, tc.coreID, txID, now, matched)
+			tc.commitMatched(txID, matched)
+		})
+	} else {
+		tc.probe.Instant(obs.KTCCommit, tc.coreID, txID, now, matched)
+		tc.commitMatched(txID, matched)
+	}
+}
+
+// commitMatched tells the flight recorder how many tracked writes the
+// commit must wait out before the flight can finalize.
+func (tc *TxCache) commitMatched(txID, matched uint64) {
+	if tc.fr != nil {
+		tc.fr.CommitMatched(tc.coreID, txID, int(matched))
+	}
 }
 
 // Probe serves an LLC miss request: CAM-match live entries for the cache
@@ -372,9 +442,18 @@ func (tc *TxCache) Tick(now uint64) {
 		}
 	}
 	if tc.burstActive && tc.unissued == 0 {
-		tc.probe.Span(obs.KTCDrain, tc.coreID, 0, tc.burstStart, now, tc.burstIssued)
-		tc.hBurstEntries.Observe(tc.burstIssued)
-		tc.hBurstCycles.Observe(now - tc.burstStart)
+		if tc.k.Deferring() {
+			// Metrics are rejected under the parallel kernel, so only
+			// the probe span needs journaling here.
+			if tc.probe != nil {
+				start, issued := tc.burstStart, tc.burstIssued
+				tc.k.Defer(func() { tc.probe.Span(obs.KTCDrain, tc.coreID, 0, start, now, issued) })
+			}
+		} else {
+			tc.probe.Span(obs.KTCDrain, tc.coreID, 0, tc.burstStart, now, tc.burstIssued)
+			tc.hBurstEntries.Observe(tc.burstIssued)
+			tc.hBurstCycles.Observe(now - tc.burstStart)
+		}
 		tc.burstActive = false
 	}
 }
@@ -416,13 +495,35 @@ func (tc *TxCache) issueOne() bool {
 	if tc.durableApply != nil {
 		apply = func() { tc.durableApply(addr, value) }
 	}
-	if tc.k.Deferring() {
+	if tc.fr != nil && tc.fr.Sampled(e.TxID) {
+		// Sampled transaction: route through the tracked port so the
+		// flight recorder sees TC issue, WPQ service start (with the
+		// channel) and durable completion for this write.
+		txID, issueAt := e.TxID, tc.k.Now()
+		if tc.k.Deferring() {
+			tc.k.Defer(func() { tc.issueTracked(addr, apply, txID, issueAt) })
+		} else {
+			tc.issueTracked(addr, apply, txID, issueAt)
+		}
+	} else if tc.k.Deferring() {
 		tc.k.Defer(func() { tc.mem.Write(memaddr.LineAddr(addr), apply, func() { tc.Ack(addr) }) })
 	} else {
 		tc.mem.Write(memaddr.LineAddr(addr), apply, func() { tc.Ack(addr) })
 	}
 	tc.issue = tc.next(tc.issue)
 	return true
+}
+
+// issueTracked is issueOne's drain write for a sampled transaction: it
+// opens the flight-recorder write and routes through the tracked port so
+// the recorder sees TC issue, WPQ service start and durable completion.
+// Kept out of line so the serial hot path builds no extra closures.
+func (tc *TxCache) issueTracked(addr uint64, apply func(), txID, issueAt uint64) {
+	w := tc.fr.TCIssue(tc.coreID, txID, issueAt)
+	tc.frPort.WriteTracked(memaddr.LineAddr(addr), apply, func() {
+		tc.Ack(addr)
+		tc.fr.WriteDurable(w, tc.k.Now())
+	}, w)
 }
 
 // Ack handles the NVM controller's acknowledgment for a written-back

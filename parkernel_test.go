@@ -1,6 +1,7 @@
 package pmemaccel
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -160,17 +161,158 @@ func TestParallelKernelNoFastForwardCombos(t *testing.T) {
 	}
 }
 
-// TestParallelKernelRejectsObs pins the config gate: the parallel
-// kernel refuses to run with the observability layer enabled (probe and
-// metrics sinks are unsynchronized shared state).
+// runObsTrace runs one cell with the given worker count and dispatch
+// threshold (0 keeps the default) and returns the result plus the
+// exported Chrome trace bytes — the strongest equivalence artifact: it
+// serializes every recorded event with its exact cycle timestamps.
+func runObsTrace(t *testing.T, cfg Config, workers, threshold int) (*Result, []byte) {
+	t.Helper()
+	cfg.ParWorkers = workers
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem(workers=%d): %v", workers, err)
+	}
+	if threshold > 0 {
+		sys.Kernel.SetDispatchThreshold(threshold)
+	}
+	r, err := sys.Run()
+	if err != nil {
+		t.Fatalf("Run(workers=%d): %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Probe.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace(workers=%d): %v", workers, err)
+	}
+	return r, buf.Bytes()
+}
+
+// TestParallelKernelObsTraceIdentical extends the byte-identity
+// contract to the observability record: with the event trace and the
+// flight recorder both on, the parallel kernel must reproduce the
+// serial kernel's result AND its exported trace byte for byte — every
+// span, stage waterfall and flow event at the same cycle on the same
+// track. Worker-side probe and flight mutations journal through the
+// per-core contexts and replay in registration order, which is exactly
+// the serial record order.
+func TestParallelKernelObsTraceIdentical(t *testing.T) {
+	for _, m := range []Kind{SP, TCache, Kiln, Optimal} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := smokeConfig(workload.SPS, m)
+			cfg.Obs.Enabled = true
+			cfg.Obs.TxSample = 1
+			serial, serialTrace := runObsTrace(t, cfg, 0, 0)
+			par, parTrace := runObsTrace(t, cfg, 4, 0)
+			serial.Config = Config{}
+			par.Config = Config{}
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("results diverge serial vs -par-kernel 4 with obs on:\n  serial: %v\n  par:    %v", serial, par)
+				if !reflect.DeepEqual(serial.TxFlight, par.TxFlight) {
+					t.Errorf("flight aggregates diverge:\n  serial: %+v\n  par:    %+v", serial.TxFlight, par.TxFlight)
+				}
+			}
+			if !bytes.Equal(serialTrace, parTrace) {
+				t.Errorf("exported traces diverge (serial %d bytes, par %d bytes)", len(serialTrace), len(parTrace))
+			}
+		})
+	}
+}
+
+// TestParallelKernelObsForcedDispatch forces every multi-busy wave
+// through worker dispatch and journal replay (threshold 2) with the
+// full observability stack on — under -race this sweeps the journaled
+// probe/flight record path against real component ticks.
+func TestParallelKernelObsForcedDispatch(t *testing.T) {
+	cfg := smokeConfig(workload.RBTree, TCache)
+	cfg.Obs.Enabled = true
+	cfg.Obs.TxSample = 1
+	serial, serialTrace := runObsTrace(t, cfg, 0, 0)
+	par, parTrace := runObsTrace(t, cfg, 4, 2)
+	serial.Config = Config{}
+	par.Config = Config{}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("forced-dispatch obs results diverge:\n  serial: %v\n  par:    %v", serial, par)
+	}
+	if !bytes.Equal(serialTrace, parTrace) {
+		t.Errorf("forced-dispatch traces diverge (serial %d bytes, par %d bytes)", len(serialTrace), len(parTrace))
+	}
+}
+
+// TestParallelKernelOpenSpanFlushMidRun stops a run mid-flight and
+// flushes open spans with the worker pool still configured: flushers
+// registered by worker-ticked components (TC drain bursts, WPQ drain
+// windows) must flush exactly once, directly on the coordinator, and
+// produce the same trace bytes as the serial kernel stopped at the
+// same cycle. A second collection while nothing new opened must flush
+// nothing more (the exactly-once contract).
+func TestParallelKernelOpenSpanFlushMidRun(t *testing.T) {
+	cfg := smokeConfig(workload.SPS, TCache)
+	cfg.Obs.Enabled = true
+	cfg.Obs.TxSample = 1
+
+	snapshot := func(workers int, stop uint64) (*System, []byte, uint64) {
+		t.Helper()
+		c := cfg
+		c.ParWorkers = workers
+		sys, err := NewSystem(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.RunToCycle(stop)
+		sys.Kernel.StopWorkers()
+		sys.Probe.FlushOpenSpans(sys.Kernel.Now())
+		var buf bytes.Buffer
+		if err := sys.Probe.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return sys, buf.Bytes(), sys.Probe.OpenSpansFlushed()
+	}
+
+	// Find a stop cycle where the serial run has a span open, so the
+	// flush path is actually exercised (a TC drain burst or WPQ drain
+	// window in progress).
+	for _, stop := range []uint64{500, 1000, 1500, 2000, 2500, 3000} {
+		serial, serialTrace, serialFlushed := snapshot(0, stop)
+		if serialFlushed == 0 {
+			continue
+		}
+		par, parTrace, parFlushed := snapshot(4, stop)
+		if parFlushed != serialFlushed {
+			t.Fatalf("stop@%d: par flushed %d open spans, serial flushed %d", stop, parFlushed, serialFlushed)
+		}
+		if !bytes.Equal(serialTrace, parTrace) {
+			t.Fatalf("stop@%d: mid-run traces diverge (serial %d bytes, par %d bytes)",
+				stop, len(serialTrace), len(parTrace))
+		}
+		// Each still-open span flushed exactly once: the journaled
+		// worker path must not have double-registered any flusher, so a
+		// second flush (the spans are still open — flushers do not
+		// mutate state) records exactly the same count again, not more.
+		before := par.Probe.Recorded()
+		par.Probe.FlushOpenSpans(par.Kernel.Now())
+		if got := par.Probe.Recorded() - before; got != serialFlushed {
+			t.Fatalf("stop@%d: re-flush recorded %d spans, want %d (one per open span)",
+				stop, got, serialFlushed)
+		}
+		_ = serial
+		return
+	}
+	t.Fatal("no candidate stop cycle had an open span; pick different cycles")
+}
+
+// TestParallelKernelRejectsObs pins the config gate: the event trace
+// and flight recorder journal their records and compose with the
+// parallel kernel, but Obs.Metrics still streams into shared histograms
+// inline on workers and is rejected, as is a negative worker count.
 func TestParallelKernelRejectsObs(t *testing.T) {
 	cfg := smokeConfig(workload.SPS, TCache)
 	cfg.ParWorkers = 2
 	cfg.Obs.Enabled = true
-	if err := cfg.Validate(); err == nil {
-		t.Fatal("Validate accepted ParWorkers with Obs.Enabled")
+	cfg.Obs.TxSample = 1
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate rejected ParWorkers with the event trace and flight recorder: %v", err)
 	}
-	cfg.Obs.Enabled = false
 	cfg.Obs.Metrics = true
 	if err := cfg.Validate(); err == nil {
 		t.Fatal("Validate accepted ParWorkers with Obs.Metrics")

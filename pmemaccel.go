@@ -99,9 +99,12 @@ type Config struct {
 	// in registration order. Results are byte-identical to the serial
 	// kernel (the parallel-equivalence tests pin it across the full
 	// paperrepro grid, exactly like NoFastForward). 0 (the default)
-	// keeps the serial kernel. Incompatible with the observability
-	// layer: probe and metrics sinks are shared and unsynchronized, so
-	// Validate rejects ParWorkers > 0 with Obs.Enabled or Obs.Metrics.
+	// keeps the serial kernel. The event trace (Obs.Enabled) and the
+	// flight recorder (Obs.TxSample) compose with it — worker-side
+	// records are journaled and replayed in registration order, so
+	// traces are byte-identical to serial runs too — but Obs.Metrics
+	// does not: cores stream into shared histograms inline, so Validate
+	// rejects ParWorkers > 0 with Obs.Metrics.
 	ParWorkers int
 
 	// Obs configures the cycle-level observability layer (off by
@@ -134,6 +137,17 @@ type ObsConfig struct {
 	// every metrics site is a nil-receiver no-op and results are
 	// byte-identical to a run without it.
 	Metrics bool
+	// TxSample turns on the transaction flight recorder, sampling every
+	// N-th transaction id per core (1 samples every transaction, 0 —
+	// the default — disables the recorder entirely). Sampling is a pure
+	// function of the transaction id, so the sampled set is identical
+	// for every ParWorkers setting and sweep layout. Each sampled
+	// transaction is followed begin → commit → TC drain → WPQ → NVM
+	// durability and reduced to an exact stage waterfall
+	// (Result.TxFlight) plus KTxStage trace spans stitched by Chrome
+	// flow events when Enabled is also set. Off, results are
+	// byte-identical to a run without it.
+	TxSample uint64
 }
 
 // Kind re-exports the mechanism identifier so API users need not import
@@ -274,8 +288,8 @@ func (c Config) Validate() error {
 	if c.ParWorkers < 0 {
 		return fmt.Errorf("pmemaccel: ParWorkers %d must be non-negative (0 selects the serial kernel)", c.ParWorkers)
 	}
-	if c.ParWorkers > 0 && (c.Obs.Enabled || c.Obs.Metrics) {
-		return fmt.Errorf("pmemaccel: ParWorkers %d is incompatible with the observability layer (Obs.Enabled/Obs.Metrics): probe and metrics sinks are unsynchronized shared state", c.ParWorkers)
+	if c.ParWorkers > 0 && c.Obs.Metrics {
+		return fmt.Errorf("pmemaccel: ParWorkers %d is incompatible with Obs.Metrics: cores stream into shared histograms inline on workers (the event trace and flight recorder journal their records and compose fine)", c.ParWorkers)
 	}
 	return nil
 }

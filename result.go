@@ -9,6 +9,7 @@ import (
 	"pmemaccel/internal/mechanism"
 	"pmemaccel/internal/memctrl"
 	"pmemaccel/internal/obs/metrics"
+	"pmemaccel/internal/obs/txflight"
 	"pmemaccel/internal/stats"
 	"pmemaccel/internal/txcache"
 )
@@ -76,6 +77,13 @@ type Result struct {
 	ObsEventsDropped    uint64
 	ObsOpenSpansFlushed uint64
 
+	// TxFlight is the flight recorder's aggregate: sampled-transaction
+	// stage waterfalls reduced to per-stage cycle sums, critical-stage
+	// verdict counts, and the end-to-end total (the stage-sum
+	// invariant: StageCycles sums exactly to E2ECycles). Nil unless
+	// Config.Obs.TxSample was set.
+	TxFlight *txflight.Aggregate
+
 	// SkippedCycles is how many cycles the kernel's quiescence
 	// fast-forward jumped instead of stepping — the audit trail for
 	// `-no-ff` equivalence runs (which must report 0) and for judging
@@ -95,6 +103,10 @@ func (s *System) collect(cycles uint64) *Result {
 	r.ObsEventsRecorded = s.Probe.Recorded()
 	r.ObsEventsDropped = s.Probe.Dropped()
 	r.ObsOpenSpansFlushed = s.Probe.OpenSpansFlushed()
+	if s.Flight != nil {
+		agg := s.Flight.Aggregate()
+		r.TxFlight = &agg
+	}
 	for _, c := range s.Cores {
 		st := c.Stats()
 		// Idle closes the attribution: every unfinished cycle ticked

@@ -11,6 +11,7 @@ import (
 	"pmemaccel/internal/memimage"
 	"pmemaccel/internal/obs"
 	"pmemaccel/internal/obs/metrics"
+	"pmemaccel/internal/obs/txflight"
 	"pmemaccel/internal/sim"
 	"pmemaccel/internal/trace"
 	"pmemaccel/internal/workload"
@@ -40,6 +41,11 @@ type System struct {
 	// collection time, and the whole registry is snapshotted into
 	// Result.Metrics.
 	Metrics *metrics.Registry
+
+	// Flight is the transaction flight recorder — nil unless
+	// Config.Obs.TxSample > 0. Its aggregate is collected into
+	// Result.TxFlight; its KTxStage spans land in Probe (when enabled).
+	Flight *txflight.Recorder
 
 	// Live is the volatile shadow image (newest store values); Durable
 	// is the NVM content that survives a crash.
@@ -73,6 +79,9 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.Obs.Metrics {
 		s.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Obs.TxSample > 0 {
+		s.Flight = txflight.New(cfg.Obs.TxSample, s.Probe)
 	}
 	s.Backend, err = memctrl.NewBackend(s.Kernel, cfg.topology(), cfg.nvmConfig(), cfg.dramConfig())
 	if err != nil {
@@ -133,6 +142,7 @@ func NewSystem(cfg Config) (*System, error) {
 		TC:      cfg.tcConfig(),
 		Probe:   s.Probe,
 		Metrics: s.Metrics,
+		Flight:  s.Flight,
 	}
 	s.Mech = mechanism.New(cfg.Mechanism, env)
 	s.Hier = cache.New(s.Kernel, cfg.cacheConfig(), s.Backend, s.Mech.Hooks(), cfg.Cores)
@@ -145,6 +155,7 @@ func NewSystem(cfg Config) (*System, error) {
 		core := cpu.New(ctxs[c], c, cfg.CPU, s.Hier, s.Mech, rd,
 			func(addr, value uint64) { s.Live.WriteWord(addr, value) })
 		core.SetProbe(s.Probe)
+		core.SetFlight(s.Flight)
 		// Transaction latency and commit-wait distributions are
 		// run-wide: every core observes into the same pair of
 		// histograms (nil when metrics are off).
