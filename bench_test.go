@@ -207,6 +207,26 @@ func BenchmarkSimulatorSpeedParallel(b *testing.B) {
 	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
 }
 
+// BenchmarkSimulatorSpeedStreaming is BenchmarkSimulatorSpeed through
+// the streaming generation pipeline — the same cell, byte-identical
+// results (pinned by TestStreamingIdenticalAllCells), so the
+// sim_cycles/s ratio against the serial bench prices pull-based
+// generation: per-record closure dispatch and the incremental oracle
+// versus a one-shot materialize plus slice iteration.
+func BenchmarkSimulatorSpeedStreaming(b *testing.B) {
+	var simCycles uint64
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(workload.RBTree, TCache)
+		cfg.Streaming = true
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simCycles += res.Cycles
+	}
+	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+}
+
 // BenchmarkSimulatorSpeedMultiChannel is BenchmarkSimulatorSpeed on a
 // 4-channel NVM backend — the first memory-side scaling scenario. The
 // sim_cycles/s delta against the single-channel bench prices the extra

@@ -110,21 +110,36 @@ func gate(f *File, baselinePath string, maxRegress float64) error {
 		return err
 	}
 	const metric = "sim_cycles/s"
-	baseBy := make(map[string]float64, len(base.Benchmarks))
+	baseBy := make(map[string]Bench, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
-		if v, ok := b.Metrics[metric]; ok && v > 0 {
-			baseBy[b.Name] = v
-		}
+		baseBy[b.Name] = b
 	}
-	compared := 0
+	compared, skipped := 0, 0
 	var regressions []string
 	for _, b := range f.Benchmarks {
-		was, ok := baseBy[b.Name]
+		bb, ok := baseBy[b.Name]
 		if !ok {
+			// Absent from the baseline entirely: a new or renamed
+			// benchmark, which must not wedge CI.
+			continue
+		}
+		// A benchmark present on both sides but with a zero or missing
+		// metric is a broken record, not a rename: comparing would divide
+		// by zero or silently pass the gate, so warn loudly and skip. If
+		// every common benchmark is skipped this way, the compared == 0
+		// error below fails the gate.
+		was, ok := bb.Metrics[metric]
+		if !ok || was <= 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: WARNING: %s: baseline %s has zero or missing %s (%g) — cannot gate this benchmark\n",
+				b.Name, baselinePath, metric, was)
+			skipped++
 			continue
 		}
 		now, ok := b.Metrics[metric]
-		if !ok {
+		if !ok || now <= 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: WARNING: %s: current record has zero or missing %s (%g) against baseline %.0f — cannot gate this benchmark\n",
+				b.Name, metric, now, was)
+			skipped++
 			continue
 		}
 		compared++
@@ -138,7 +153,8 @@ func gate(f *File, baselinePath string, maxRegress float64) error {
 		}
 	}
 	if compared == 0 {
-		return fmt.Errorf("benchjson: no benchmark in common with %s carries %s", baselinePath, metric)
+		return fmt.Errorf("benchjson: no benchmark in common with %s carries a usable %s (%d skipped with warnings)",
+			baselinePath, metric, skipped)
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("benchjson: %s regression vs %s:\n  %s",

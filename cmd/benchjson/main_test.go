@@ -166,3 +166,49 @@ func TestGate(t *testing.T) {
 		t.Error("gate with unreadable baseline reported success")
 	}
 }
+
+// TestGateZeroOrMissingBaselineMetric pins the broken-record paths: a
+// benchmark present on both sides whose baseline (or current)
+// sim_cycles/s is zero or absent is skipped with a warning rather than
+// dividing by zero or silently passing — and when every common benchmark
+// is broken that way, the gate fails instead of reporting success.
+func TestGateZeroOrMissingBaselineMetric(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, f File) string {
+		data, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	baseline := write("base.json", File{Schema: schemaVersion, Benchmarks: []Bench{
+		{Name: "Zero", Iterations: 1,
+			Metrics: map[string]float64{"ns/op": 1, "sim_cycles/s": 0}},
+		{Name: "Missing", Iterations: 1,
+			Metrics: map[string]float64{"ns/op": 1}},
+		{Name: "Good", Iterations: 1,
+			Metrics: map[string]float64{"ns/op": 1, "sim_cycles/s": 100e6}},
+	}})
+	cur := &File{Schema: schemaVersion, Benchmarks: []Bench{
+		{Name: "Zero", Iterations: 1,
+			Metrics: map[string]float64{"ns/op": 1, "sim_cycles/s": 90e6}},
+		{Name: "Missing", Iterations: 1,
+			Metrics: map[string]float64{"ns/op": 1, "sim_cycles/s": 90e6}},
+		{Name: "Good", Iterations: 1,
+			Metrics: map[string]float64{"ns/op": 1, "sim_cycles/s": 99e6}},
+	}}
+	// Zero and Missing are skipped (no division by zero, no phantom
+	// regression), Good compares and passes.
+	if err := gate(cur, baseline, 0.10); err != nil {
+		t.Errorf("gate with one usable benchmark failed: %v", err)
+	}
+	// A zero metric on the current side is likewise skipped, not passed.
+	cur.Benchmarks[2].Metrics["sim_cycles/s"] = 0
+	if err := gate(cur, baseline, 0.10); err == nil {
+		t.Error("gate with every common benchmark broken reported success")
+	}
+}

@@ -39,6 +39,8 @@ func main() {
 		markdown  = flag.Bool("markdown", false, "render figures as markdown tables (EXPERIMENTS.md format)")
 		ops       = flag.Int("ops", 0, "operations per core (0 = default)")
 		scale     = flag.Int("scale", 0, "cache scale divisor (0 = default 64; 1 = full Table 2 machine)")
+		stream    = flag.Bool("stream", false, "stream workload generation (O(1) memory in ops; byte-identical results)")
+		paperScl  = flag.Bool("paper-scale", false, "size ops to the paper's 1.7G-instruction window per cell (implies -stream; slow)")
 		nvmChans  = flag.Int("nvm-channels", 0, "address-interleaved NVM channels (0 = 1)")
 		dramChans = flag.Int("dram-channels", 0, "address-interleaved DRAM channels (0 = 1)")
 		seed      = flag.Uint64("seed", 1, "random seed")
@@ -53,6 +55,22 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	// The "0 selects the default" int flags are guarded with > 0 below, so
+	// a negative value would silently run the default grid; reject it.
+	for _, f := range []struct {
+		name string
+		val  int
+	}{
+		{"ops", *ops}, {"scale", *scale},
+		{"nvm-channels", *nvmChans}, {"dram-channels", *dramChans},
+		{"j", *jobs}, {"par-kernel", *parKernel},
+	} {
+		if f.val < 0 {
+			fmt.Fprintf(os.Stderr, "paperrepro: -%s %d is negative; pass a positive value or omit the flag for the default\n", f.name, f.val)
+			os.Exit(1)
+		}
+	}
 
 	if *cpuprofile != "" {
 		stop, err := prof.StartCPU(*cpuprofile)
@@ -102,10 +120,19 @@ func main() {
 		cfg.Seed = *seed
 		cfg.NoFastForward = *noFF
 		cfg.ParWorkers = *parKernel
+		cfg.Streaming = *stream || *paperScl
 		cfg.Obs.Metrics = *metrics
 		if *txSample > 0 {
 			cfg.Obs.Enabled = true
 			cfg.Obs.TxSample = *txSample
+		}
+		if *paperScl {
+			scaled, err := cfg.PaperScale()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperrepro:", err)
+				os.Exit(1)
+			}
+			cfg = scaled
 		}
 		return cfg
 	}

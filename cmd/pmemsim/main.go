@@ -5,8 +5,14 @@
 //
 //	pmemsim -bench rbtree -mech tcache [-ops 12000] [-scale 64] \
 //	        [-cores 4] [-seed 1] [-tc 4096] [-paper] [-v] \
+//	        [-stream] [-paper-scale] \
 //	        [-trace-out trace.json] [-metrics-out metrics.csv] \
 //	        [-sample-every 1000] [-tx-sample N]
+//
+// -stream switches workload generation to the pull-based streaming
+// pipeline (byte-identical results, O(1) memory in the op count);
+// -paper-scale additionally calibrates the op count to the paper's
+// 1.7 G-instruction evaluation window and implies -stream.
 //
 // -trace-out writes a Chrome trace_event JSON (open in
 // chrome://tracing or https://ui.perfetto.dev); -metrics-out writes a
@@ -50,6 +56,8 @@ func main() {
 		dramChans  = flag.Int("dram-channels", 0, "address-interleaved DRAM channels (0 = 1)")
 		interleave = flag.Int("interleave", 0, "channel interleave granularity in bytes, power of two (0 = 4096)")
 		paper      = flag.Bool("paper", false, "use the full Table 2 machine (Scale 1; slow)")
+		stream     = flag.Bool("stream", false, "stream workload generation (O(1) memory in ops; byte-identical results)")
+		paperScale = flag.Bool("paper-scale", false, "size ops to the paper's 1.7G-instruction window (implies -stream; slow)")
 		verbose    = flag.Bool("v", false, "print per-core and subsystem detail")
 		asJSON     = flag.Bool("json", false, "emit the result as JSON")
 
@@ -65,6 +73,24 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	// The "0 selects the default" int flags are guarded with > 0 below, so
+	// a negative value would silently run the default configuration;
+	// reject them explicitly. (-tx-sample and -sample-every are unsigned:
+	// the flag package itself rejects negatives at parse time.)
+	for _, f := range []struct {
+		name string
+		val  int
+	}{
+		{"ops", *ops}, {"initial", *initial}, {"scale", *scale},
+		{"cores", *cores}, {"tc", *tcBytes},
+		{"nvm-channels", *nvmChans}, {"dram-channels", *dramChans},
+		{"interleave", *interleave}, {"par-kernel", *parKernel},
+	} {
+		if f.val < 0 {
+			fatal(fmt.Errorf("-%s %d is negative; pass a positive value or omit the flag for the default", f.name, f.val))
+		}
+	}
 
 	if *cpuprofile != "" {
 		stop, err := prof.StartCPU(*cpuprofile)
@@ -114,6 +140,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.NoFastForward = *noFF
 	cfg.ParWorkers = *parKernel
+	cfg.Streaming = *stream || *paperScale
 	if *traceOut != "" || *metricsOut != "" || *txSample > 0 {
 		cfg.Obs.Enabled = true
 		if *metricsOut != "" {
@@ -127,6 +154,14 @@ func main() {
 	// construction.
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
+	}
+	if *paperScale {
+		cfg, err = cfg.PaperScale()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pmemsim: paper scale: %d ops/core, streaming generation, cycle bound %d\n",
+			cfg.Ops, cfg.MaxCycles)
 	}
 
 	start := time.Now()

@@ -45,7 +45,14 @@ func (h *Heap) Alloc(words int) (uint64, error) {
 	}
 	if list := h.free[words]; len(list) > 0 {
 		addr := list[len(list)-1]
-		h.free[words] = list[:len(list)-1]
+		if len(list) == 1 {
+			// Drop the emptied size class: long churn runs cycle through
+			// many transient sizes, and keeping every empty slice alive
+			// leaks map entries for the rest of the run.
+			delete(h.free, words)
+		} else {
+			h.free[words] = list[:len(list)-1]
+		}
 		h.inUse += uint64(words) * memaddr.WordSize
 		return addr, nil
 	}

@@ -72,6 +72,36 @@ func TestFreeDifferentSizeClassNotReused(t *testing.T) {
 	}
 }
 
+func TestEmptiedSizeClassDropped(t *testing.T) {
+	h := New(testRegion())
+	// Churn through many distinct size classes, freeing and reusing each
+	// once: the free-list map must not accumulate one empty entry per
+	// class (the long-run leak this pins down).
+	for words := 1; words <= 64; words++ {
+		a := h.MustAlloc(words)
+		h.Free(a, words)
+		if got := h.MustAlloc(words); got != a {
+			t.Fatalf("size class %d: realloc = %#x, want reuse of %#x", words, got, a)
+		}
+	}
+	if len(h.free) != 0 {
+		t.Fatalf("free-list map holds %d entries after all classes emptied, want 0", len(h.free))
+	}
+	// A partially drained class must keep its entry.
+	a := h.MustAlloc(4)
+	b := h.MustAlloc(4)
+	h.Free(a, 4)
+	h.Free(b, 4)
+	h.MustAlloc(4)
+	if len(h.free[4]) != 1 {
+		t.Fatalf("size class 4 has %d free blocks, want 1", len(h.free[4]))
+	}
+	h.MustAlloc(4)
+	if _, ok := h.free[4]; ok {
+		t.Fatal("size class 4 entry survived after its last block was reused")
+	}
+}
+
 func TestInUseAccounting(t *testing.T) {
 	h := New(testRegion())
 	a := h.MustAlloc(4)

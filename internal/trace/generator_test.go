@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"pmemaccel/internal/memaddr"
+	"pmemaccel/internal/memimage"
+)
+
+// TestGeneratorDrainsBatches pins the refill discipline: each step call
+// emits one batch, the consumer sees every record in order, and the
+// stream ends cleanly when step reports no more.
+func TestGeneratorDrainsBatches(t *testing.T) {
+	batch := 0
+	g := NewGenerator(func(emit func(Record)) (bool, error) {
+		if batch == 3 {
+			return false, nil
+		}
+		for i := 0; i < 2; i++ {
+			emit(Compute(batch*2 + i + 1))
+		}
+		batch++
+		return true, nil
+	})
+	var got []int
+	for {
+		rec, ok := g.Next()
+		if !ok {
+			break
+		}
+		got = append(got, rec.N)
+	}
+	want := []int{1, 2, 3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if g.Err() != nil {
+		t.Errorf("clean stream has Err = %v", g.Err())
+	}
+	if g.Produced() != 6 {
+		t.Errorf("Produced = %d, want 6", g.Produced())
+	}
+	// Exhausted streams stay exhausted.
+	if _, ok := g.Next(); ok {
+		t.Error("Next returned a record after exhaustion")
+	}
+}
+
+// TestGeneratorEmptyBatchesSkipped: a step call may emit zero records
+// (e.g. a quiet phase); the generator keeps refilling rather than ending
+// the stream.
+func TestGeneratorEmptyBatchesSkipped(t *testing.T) {
+	calls := 0
+	g := NewGenerator(func(emit func(Record)) (bool, error) {
+		calls++
+		switch calls {
+		case 1, 2:
+			return true, nil // nothing emitted
+		case 3:
+			emit(Compute(7))
+			return true, nil
+		default:
+			return false, nil
+		}
+	})
+	rec, ok := g.Next()
+	if !ok || rec.N != 7 {
+		t.Fatalf("Next = %+v, %v; want the batch-3 record", rec, ok)
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatal("stream did not end after final batch")
+	}
+}
+
+// TestGeneratorStickyStepError: a step failure ends the stream, discards
+// the partial batch, and surfaces through Err on every later call.
+func TestGeneratorStickyStepError(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	g := NewGenerator(func(emit func(Record)) (bool, error) {
+		calls++
+		if calls == 2 {
+			emit(Compute(99)) // partial batch must not leak out
+			return false, boom
+		}
+		emit(Compute(1))
+		return true, nil
+	})
+	if _, ok := g.Next(); !ok {
+		t.Fatal("first record missing")
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatal("record delivered from a failed batch")
+	}
+	if !errors.Is(g.Err(), boom) {
+		t.Fatalf("Err = %v, want %v", g.Err(), boom)
+	}
+	if _, ok := g.Next(); ok || !errors.Is(g.Err(), boom) {
+		t.Fatal("failure is not sticky")
+	}
+	if calls != 2 {
+		t.Errorf("step called %d times after failure, want 2", calls)
+	}
+}
+
+// TestGeneratorCheckFailure: a per-record validator rejection ends the
+// stream with the check's error.
+func TestGeneratorCheckFailure(t *testing.T) {
+	g := NewGenerator(func(emit func(Record)) (bool, error) {
+		emit(Compute(1))
+		emit(Compute(-1)) // invalid
+		emit(Compute(2))
+		return false, nil
+	})
+	var sv StreamValidator
+	g.SetCheck(sv.Check)
+	if rec, ok := g.Next(); !ok || rec.N != 1 {
+		t.Fatalf("first record = %+v, %v", rec, ok)
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatal("invalid record passed the check")
+	}
+	if g.Err() == nil {
+		t.Fatal("check violation did not surface through Err")
+	}
+}
+
+// TestStreamValidatorMatchesValidate: the incremental validator and the
+// materialized Validate agree on both a well-formed and a malformed
+// trace.
+func TestStreamValidatorMatchesValidate(t *testing.T) {
+	good := &Trace{Records: []Record{
+		TxBegin(1), Store(memaddr.NVMBase, 5), TxEnd(1), Load(memaddr.DRAMBase),
+	}}
+	if err := Validate(good); err != nil {
+		t.Fatalf("good trace rejected: %v", err)
+	}
+	bad := &Trace{Records: []Record{
+		Store(memaddr.NVMBase, 5), // persistent store outside tx
+	}}
+	if err := Validate(bad); err == nil {
+		t.Fatal("bad trace accepted")
+	}
+	open := &Trace{Records: []Record{TxBegin(1)}}
+	var v StreamValidator
+	for _, r := range open.Records {
+		if err := v.Check(r); err != nil {
+			t.Fatalf("Check: %v", err)
+		}
+	}
+	if err := v.Finish(); err == nil {
+		t.Fatal("open transaction not caught at Finish")
+	}
+}
+
+// TestRecorderRunningCounters pins the incremental oracle: the running
+// instruction/transaction counters match the materialized trace's
+// aggregates, and the incremental final image matches the full
+// committed-prefix fold.
+func TestRecorderRunningCounters(t *testing.T) {
+	r := NewRecorder(memimage.New())
+	r.SetQuiet(true)
+	r.Store(memaddr.NVMBase, 1) // warmup write
+	r.SetQuiet(false)
+	base := r.Image().Snapshot()
+	r.SetFinalBase(base)
+
+	for i := 0; i < 5; i++ {
+		r.TxBegin()
+		r.Store(memaddr.NVMBase+uint64(8*i), uint64(100+i))
+		r.Compute(3)
+		r.TxEnd()
+		r.Load(memaddr.DRAMBase)
+	}
+	if got, want := r.Instructions(), r.Trace.Instructions(); got != want {
+		t.Errorf("Instructions counter = %d, trace says %d", got, want)
+	}
+	if got, want := r.Transactions(), r.Trace.Transactions(); got != want {
+		t.Errorf("Transactions counter = %d, trace says %d", got, want)
+	}
+	if got := r.CommittedCount(); got != 5 {
+		t.Errorf("CommittedCount = %d, want 5", got)
+	}
+	want := r.CommittedPrefixImage(base, len(r.Committed()))
+	if !r.FinalImage().Equal(want) {
+		t.Error("incremental final image differs from committed-prefix fold")
+	}
+}
+
+// TestRecorderSinkAndRetention: with a sink installed nothing
+// materializes, and with retention off the history stays empty while the
+// counters and final image keep working.
+func TestRecorderSinkAndRetention(t *testing.T) {
+	r := NewRecorder(memimage.New())
+	r.SetFinalBase(memimage.New())
+	r.SetRetainTxHistory(false)
+	if r.RetainsTxHistory() {
+		t.Fatal("RetainsTxHistory true after disabling")
+	}
+	var sunk []Record
+	r.SetSink(func(rec Record) { sunk = append(sunk, rec) })
+
+	r.TxBegin()
+	r.Store(memaddr.NVMBase, 42)
+	r.TxEnd()
+
+	if r.Trace.Len() != 0 {
+		t.Errorf("trace materialized %d records despite sink", r.Trace.Len())
+	}
+	if len(sunk) != 3 {
+		t.Errorf("sink received %d records, want 3 (begin, store, end)", len(sunk))
+	}
+	if len(r.Committed()) != 0 {
+		t.Errorf("history retained %d txs with retention off", len(r.Committed()))
+	}
+	if r.CommittedCount() != 1 {
+		t.Errorf("CommittedCount = %d, want 1", r.CommittedCount())
+	}
+	if got := r.FinalImage().ReadWord(memaddr.NVMBase); got != 42 {
+		t.Errorf("final image word = %d, want 42", got)
+	}
+}

@@ -21,9 +21,16 @@ type TxRecord struct {
 // Recorder is the memory interface the workloads program against. It plays
 // the role of the compiler plus persistent-heap runtime: every Load/Store
 // both updates the architectural program image (so the data structures
-// actually work) and appends a trace record. It also assigns transaction
+// actually work) and emits a trace record. It also assigns transaction
 // ids (the CPU's "next TxID register" of §4.2) and maintains the oracle of
 // committed transactions used by crash-recovery checking.
+//
+// Records flow either into the materialized Trace (the default) or into a
+// caller-provided sink (SetSink) — the streaming pipeline's hook, which
+// keeps memory O(1) in the number of records. The oracle likewise has two
+// forms: the full per-transaction history (Committed), retained by
+// default, and the incremental final image plus running counters, which
+// are always maintained and are all a streaming run needs.
 type Recorder struct {
 	Trace Trace
 
@@ -33,13 +40,33 @@ type Recorder struct {
 	curTx  uint64
 	quiet  bool
 
+	// sink, when non-nil, receives every emitted record instead of the
+	// materialized Trace.
+	sink func(Record)
+
+	// retain keeps the full committed-transaction history. Streaming
+	// runs switch it off: the history is O(ops) memory and only crash-
+	// prefix checking (CommittedPrefixImage) needs it.
+	retain bool
+
+	// Running counters over the measured (non-quiet) window, maintained
+	// identically in materialized and streaming modes so consumers need
+	// no slice scans.
+	instructions uint64
+	transactions uint64
+
+	// final is the incremental oracle image: the post-warmup base plus
+	// every committed write set folded in at TxEnd. Nil until
+	// SetFinalBase.
+	final *memimage.Image
+
 	pending   []Write
 	committed []TxRecord
 }
 
 // NewRecorder returns a recorder writing through to img.
 func NewRecorder(img *memimage.Image) *Recorder {
-	return &Recorder{img: img, nextTx: 1}
+	return &Recorder{img: img, nextTx: 1, retain: true}
 }
 
 // Image returns the architectural program image.
@@ -54,10 +81,59 @@ func (r *Recorder) SetQuiet(quiet bool) { r.quiet = quiet }
 // Quiet reports whether warmup mode is active.
 func (r *Recorder) Quiet() bool { return r.quiet }
 
+// SetSink redirects emitted records to fn instead of the materialized
+// Trace. The streaming generator points fn at its bounded per-core
+// buffer; nil restores materialization.
+func (r *Recorder) SetSink(fn func(Record)) { r.sink = fn }
+
+// SetRetainTxHistory controls whether the full committed-transaction
+// history accumulates (the default). Streaming runs disable it; the
+// incremental final image and the committed counter remain available.
+func (r *Recorder) SetRetainTxHistory(retain bool) { r.retain = retain }
+
+// RetainsTxHistory reports whether Committed holds the full history.
+func (r *Recorder) RetainsTxHistory() bool { return r.retain }
+
+// SetFinalBase starts the incremental oracle image from a snapshot of
+// base (the post-warmup durable state). Committed write sets fold into
+// it at every TxEnd from then on.
+func (r *Recorder) SetFinalBase(base *memimage.Image) { r.final = base.Snapshot() }
+
+// FinalImage returns the incremental oracle image: base plus every
+// committed transaction so far. In a streaming run it is complete only
+// once the generator is exhausted. Nil before SetFinalBase.
+func (r *Recorder) FinalImage() *memimage.Image { return r.final }
+
+// Instructions returns the dynamic instruction count of the measured
+// window emitted so far (the streaming equivalent of Trace.Instructions).
+func (r *Recorder) Instructions() uint64 { return r.instructions }
+
+// Transactions returns the number of committed (TxEnd) transactions
+// emitted so far (the streaming equivalent of Trace.Transactions).
+func (r *Recorder) Transactions() uint64 { return r.transactions }
+
+// CommittedCount returns how many transactions have committed in the
+// measured window, independent of whether their history was retained.
+func (r *Recorder) CommittedCount() uint64 { return r.transactions }
+
+// emit routes one record to the sink or the materialized trace,
+// maintaining the running counters either way.
+func (r *Recorder) emit(rec Record) {
+	r.instructions += rec.Instructions()
+	if rec.Kind == KindTxEnd {
+		r.transactions++
+	}
+	if r.sink != nil {
+		r.sink(rec)
+		return
+	}
+	r.Trace.Append(rec)
+}
+
 // Load reads a 64-bit word, recording an independent access.
 func (r *Recorder) Load(addr uint64) uint64 {
 	if !r.quiet {
-		r.Trace.Append(Load(addr))
+		r.emit(Load(addr))
 	}
 	return r.img.ReadWord(addr)
 }
@@ -67,7 +143,7 @@ func (r *Recorder) Load(addr uint64) uint64 {
 // loads.
 func (r *Recorder) LoadDep(addr uint64) uint64 {
 	if !r.quiet {
-		r.Trace.Append(LoadDep(addr))
+		r.emit(LoadDep(addr))
 	}
 	return r.img.ReadWord(addr)
 }
@@ -79,7 +155,7 @@ func (r *Recorder) Store(addr, value uint64) {
 	if r.quiet {
 		return
 	}
-	r.Trace.Append(Store(addr, value))
+	r.emit(Store(addr, value))
 	if r.inTx && memaddr.IsPersistent(addr) {
 		r.pending = append(r.pending, Write{Addr: memaddr.WordAddr(addr), Value: value})
 	}
@@ -90,7 +166,7 @@ func (r *Recorder) Compute(n int) {
 	if n <= 0 || r.quiet {
 		return
 	}
-	r.Trace.Append(Compute(n))
+	r.emit(Compute(n))
 }
 
 // TxBegin opens a durable transaction and returns its id. Transactions do
@@ -105,21 +181,30 @@ func (r *Recorder) TxBegin() uint64 {
 	r.inTx, r.curTx = true, id
 	r.pending = r.pending[:0]
 	if !r.quiet {
-		r.Trace.Append(TxBegin(id))
+		r.emit(TxBegin(id))
 	}
 	return id
 }
 
-// TxEnd commits the open transaction, adding its write set to the oracle.
+// TxEnd commits the open transaction, adding its write set to the oracle
+// (the retained history when enabled, and the incremental final image
+// always).
 func (r *Recorder) TxEnd() {
 	if !r.inTx {
 		panic("trace: TxEnd outside transaction")
 	}
 	if !r.quiet {
-		r.Trace.Append(TxEnd(r.curTx))
-		ws := make([]Write, len(r.pending))
-		copy(ws, r.pending)
-		r.committed = append(r.committed, TxRecord{ID: r.curTx, Writes: ws})
+		r.emit(TxEnd(r.curTx))
+		if r.retain {
+			ws := make([]Write, len(r.pending))
+			copy(ws, r.pending)
+			r.committed = append(r.committed, TxRecord{ID: r.curTx, Writes: ws})
+		}
+		if r.final != nil {
+			for _, w := range r.pending {
+				r.final.WriteWord(w.Addr, w.Value)
+			}
+		}
 	}
 	r.inTx = false
 	r.pending = r.pending[:0]
@@ -129,13 +214,14 @@ func (r *Recorder) TxEnd() {
 func (r *Recorder) InTx() bool { return r.inTx }
 
 // Committed returns the oracle: every committed transaction with its
-// persistent write set, in commit order.
+// persistent write set, in commit order. Empty when history retention is
+// off (use CommittedCount and FinalImage instead).
 func (r *Recorder) Committed() []TxRecord { return r.committed }
 
 // CommittedPrefixImage builds the durable NVM image that results from
 // applying the first n committed transactions to base (nil base means an
 // empty image). Recovery checking compares a post-crash recovered image
-// against one of these prefixes.
+// against one of these prefixes. Requires the retained history.
 func (r *Recorder) CommittedPrefixImage(base *memimage.Image, n int) *memimage.Image {
 	var img *memimage.Image
 	if base != nil {

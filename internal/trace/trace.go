@@ -128,7 +128,9 @@ func Summarize(t *Trace) Stats {
 	return s
 }
 
-// Validate checks trace well-formedness:
+// StreamValidator checks trace well-formedness one record at a time, so
+// a streaming run validates records as they flow by instead of scanning
+// a materialized trace:
 //   - transactions do not nest and every begin has a matching end with the
 //     same id;
 //   - transaction ids strictly increase;
@@ -137,49 +139,74 @@ func Summarize(t *Trace) Stats {
 //   - compute batches are positive;
 //   - load/store addresses are word aligned and in a mapped region.
 //
-// It returns the first violation found.
-func Validate(t *Trace) error {
-	inTx := false
-	var curID uint64
-	var lastID uint64
-	for i, r := range t.Records {
-		switch r.Kind {
-		case KindTxBegin:
-			if inTx {
-				return fmt.Errorf("record %d: nested tx_begin(%d) inside tx %d", i, r.TxID, curID)
-			}
-			if r.TxID <= lastID && lastID != 0 {
-				return fmt.Errorf("record %d: tx id %d not increasing (last %d)", i, r.TxID, lastID)
-			}
-			inTx, curID, lastID = true, r.TxID, r.TxID
-		case KindTxEnd:
-			if !inTx {
-				return fmt.Errorf("record %d: tx_end(%d) outside transaction", i, r.TxID)
-			}
-			if r.TxID != curID {
-				return fmt.Errorf("record %d: tx_end(%d) does not match open tx %d", i, r.TxID, curID)
-			}
-			inTx = false
-		case KindStore:
-			if memaddr.IsPersistent(r.Addr) && !inTx {
-				return fmt.Errorf("record %d: persistent store to %#x outside transaction", i, r.Addr)
-			}
-			fallthrough
-		case KindLoad:
-			if !memaddr.IsWordAligned(r.Addr) {
-				return fmt.Errorf("record %d: %s address %#x not word aligned", i, r.Kind, r.Addr)
-			}
-			if memaddr.Classify(r.Addr) == memaddr.SpaceInvalid {
-				return fmt.Errorf("record %d: %s address %#x outside every region", i, r.Kind, r.Addr)
-			}
-		case KindCompute:
-			if r.N <= 0 {
-				return fmt.Errorf("record %d: compute batch of %d instructions", i, r.N)
-			}
+// Feed every record to Check in order, then call Finish once the stream
+// ends. The zero value is ready to use.
+type StreamValidator struct {
+	idx    int64
+	inTx   bool
+	curID  uint64
+	lastID uint64
+}
+
+// Check validates the next record of the stream, returning the first
+// violation found.
+func (v *StreamValidator) Check(r Record) error {
+	i := v.idx
+	v.idx++
+	switch r.Kind {
+	case KindTxBegin:
+		if v.inTx {
+			return fmt.Errorf("record %d: nested tx_begin(%d) inside tx %d", i, r.TxID, v.curID)
+		}
+		if r.TxID <= v.lastID && v.lastID != 0 {
+			return fmt.Errorf("record %d: tx id %d not increasing (last %d)", i, r.TxID, v.lastID)
+		}
+		v.inTx, v.curID, v.lastID = true, r.TxID, r.TxID
+	case KindTxEnd:
+		if !v.inTx {
+			return fmt.Errorf("record %d: tx_end(%d) outside transaction", i, r.TxID)
+		}
+		if r.TxID != v.curID {
+			return fmt.Errorf("record %d: tx_end(%d) does not match open tx %d", i, r.TxID, v.curID)
+		}
+		v.inTx = false
+	case KindStore:
+		if memaddr.IsPersistent(r.Addr) && !v.inTx {
+			return fmt.Errorf("record %d: persistent store to %#x outside transaction", i, r.Addr)
+		}
+		fallthrough
+	case KindLoad:
+		if !memaddr.IsWordAligned(r.Addr) {
+			return fmt.Errorf("record %d: %s address %#x not word aligned", i, r.Kind, r.Addr)
+		}
+		if memaddr.Classify(r.Addr) == memaddr.SpaceInvalid {
+			return fmt.Errorf("record %d: %s address %#x outside every region", i, r.Kind, r.Addr)
+		}
+	case KindCompute:
+		if r.N <= 0 {
+			return fmt.Errorf("record %d: compute batch of %d instructions", i, r.N)
 		}
 	}
-	if inTx {
-		return fmt.Errorf("trace ends inside open transaction %d", curID)
+	return nil
+}
+
+// Finish validates end-of-stream conditions (no transaction left open).
+func (v *StreamValidator) Finish() error {
+	if v.inTx {
+		return fmt.Errorf("trace ends inside open transaction %d", v.curID)
 	}
 	return nil
+}
+
+// Validate checks a materialized trace's well-formedness (the
+// StreamValidator conditions applied to every record), returning the
+// first violation found.
+func Validate(t *Trace) error {
+	var v StreamValidator
+	for _, r := range t.Records {
+		if err := v.Check(r); err != nil {
+			return err
+		}
+	}
+	return v.Finish()
 }

@@ -160,7 +160,7 @@ func checkBankImage(meta Meta, img *memimage.Image) error {
 	if sum != uint64(meta.ArrayLen)*bankInitialBalance {
 		return fmt.Errorf("bank total %d, want %d (torn transfer)", sum, uint64(meta.ArrayLen)*bankInitialBalance)
 	}
-	steps := 0
+	var steps int64
 	for node := img.ReadWord(meta.RootPtr); node != 0; node = img.ReadWord(node + baNext*8) {
 		from := img.ReadWord(node + baFrom*8)
 		to := img.ReadWord(node + baTo*8)

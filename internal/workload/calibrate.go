@@ -1,0 +1,41 @@
+package workload
+
+// Instruction-cost calibration: paper-scale runs size their op count to
+// an instruction target, and the dynamic instructions per operation vary
+// per benchmark (pointer-chase depth, rebalancing, allocator traffic).
+// Rather than hand-maintaining a cost table, sample a short streamed
+// window and measure.
+
+import "fmt"
+
+// CalibrationOps is the number of measured operations sampled by
+// InstructionsPerOp — long enough to average out per-op variance, short
+// enough to be negligible against a paper-scale run.
+const CalibrationOps = 2048
+
+// InstructionsPerOp estimates benchmark b's dynamic instruction cost per
+// measured operation under p by streaming a CalibrationOps-long window
+// and reading the recorder's running instruction counter. p.Ops is
+// ignored (the sample length is fixed); p.InitialSize should match the
+// intended run, since structure depth feeds traversal cost.
+func InstructionsPerOp(b Benchmark, p Params) (float64, error) {
+	p.Ops = CalibrationOps
+	out, err := NewStream(b, p)
+	if err != nil {
+		return 0, fmt.Errorf("workload %s: calibration: %w", b, err)
+	}
+	rd := out.NewReader()
+	for {
+		if _, ok := rd.Next(); !ok {
+			break
+		}
+	}
+	if err := out.StreamErr(); err != nil {
+		return 0, fmt.Errorf("workload %s: calibration: %w", b, err)
+	}
+	instr := out.Recorder.Instructions()
+	if instr == 0 {
+		return 0, fmt.Errorf("workload %s: calibration produced no instructions", b)
+	}
+	return float64(instr) / CalibrationOps, nil
+}

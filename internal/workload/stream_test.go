@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"runtime"
+	"testing"
+
+	"pmemaccel/internal/memaddr"
+	"pmemaccel/internal/trace"
+)
+
+// drain pulls the stream dry, returning every record.
+func drain(t *testing.T, out *Output) []trace.Record {
+	t.Helper()
+	rd := out.NewReader()
+	var recs []trace.Record
+	for {
+		rec, ok := rd.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// TestStreamMatchesGenerateRecords is the workload-level half of the
+// byte-identity contract: for every benchmark, NewStream must emit
+// exactly the record sequence Generate materializes, and the two oracles
+// (final image, instruction and transaction counters, base image, meta)
+// must agree.
+func TestStreamMatchesGenerateRecords(t *testing.T) {
+	for _, b := range Extended {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			p := testParams(3, 150, 250)
+			mat, err := Generate(b, p)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			str, err := NewStream(b, p)
+			if err != nil {
+				t.Fatalf("NewStream: %v", err)
+			}
+			recs := drain(t, str)
+			if err := str.StreamErr(); err != nil {
+				t.Fatalf("StreamErr: %v", err)
+			}
+			if len(recs) != mat.Trace.Len() {
+				t.Fatalf("stream produced %d records, materialized %d", len(recs), mat.Trace.Len())
+			}
+			for i, rec := range recs {
+				if rec != mat.Trace.Records[i] {
+					t.Fatalf("record %d differs: stream %+v, materialized %+v", i, rec, mat.Trace.Records[i])
+				}
+			}
+			if got, want := str.Recorder.Instructions(), mat.Trace.Instructions(); got != want {
+				t.Errorf("streamed instruction counter = %d, want %d", got, want)
+			}
+			if got, want := str.Recorder.Transactions(), mat.Trace.Transactions(); got != want {
+				t.Errorf("streamed transaction counter = %d, want %d", got, want)
+			}
+			if !str.FinalImage.Equal(mat.FinalImage) {
+				t.Error("final images differ between streaming and materialized runs")
+			}
+			if !str.BaseImage.Equal(mat.BaseImage) {
+				t.Error("base images differ between streaming and materialized runs")
+			}
+			if str.Meta != mat.Meta {
+				t.Errorf("meta differs: stream %+v, materialized %+v", str.Meta, mat.Meta)
+			}
+			// Streaming keeps no per-transaction history, only the counter.
+			if n := len(str.Recorder.Committed()); n != 0 {
+				t.Errorf("streaming run retained %d tx records, want 0", n)
+			}
+			if got := str.Recorder.CommittedCount(); got != uint64(p.Ops) {
+				t.Errorf("CommittedCount = %d, want %d", got, p.Ops)
+			}
+		})
+	}
+}
+
+// heapAllocAfterDrain generates an sps stream of the given length,
+// drains it, and reports the live heap afterwards (with the output still
+// reachable, so structure state counts and trace state would too, if any
+// accumulated).
+func heapAllocAfterDrain(t *testing.T, ops int) uint64 {
+	t.Helper()
+	p := testParams(5, 4096, ops)
+	p.SearchesPerOp = 0
+	out, err := NewStream(SPS, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := out.NewReader()
+	n := 0
+	for {
+		if _, ok := rd.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if err := out.StreamErr(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("stream produced no records")
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	runtime.KeepAlive(out)
+	return ms.HeapAlloc
+}
+
+// TestStreamMemoryCeiling pins the tentpole's memory claim: growing the
+// op count 100x must leave the live heap roughly flat, because nothing
+// O(ops) is retained — no materialized trace, no per-transaction
+// history. sps is the vehicle since its structure footprint (a
+// fixed-size array) is independent of the op count; insert benchmarks
+// legitimately grow with ops.
+func TestStreamMemoryCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory-ceiling run is a few seconds")
+	}
+	small := heapAllocAfterDrain(t, 2_000)
+	large := heapAllocAfterDrain(t, 200_000)
+	// "Roughly flat": allow slack for allocator noise, but a materialized
+	// path would grow by ~100x here (tens of MB), far past 2x.
+	if large > 2*small+(8<<20) {
+		t.Errorf("HeapAlloc grew from %d to %d across a 100x op increase; streaming must stay O(1) in ops", small, large)
+	}
+}
+
+// TestStreamErrorSurfaces forces a mid-stream workload failure (heap
+// exhaustion during the measured window) and checks the contract: the
+// reader just ends, and StreamErr reports the failure.
+func TestStreamErrorSurfaces(t *testing.T) {
+	p := testParams(1, 16, 1_000_000)
+	p.SearchesPerOp = 0
+	// Small persistent region: setup fits, but rbtree inserts never free,
+	// so the op loop's allocations exhaust it mid-run.
+	p.PersistentRegion = memaddr.Range{Base: memaddr.NVMBase, Size: 1 << 14}
+	out, err := NewStream(RBTree, p)
+	if err != nil {
+		t.Fatalf("NewStream: %v", err)
+	}
+	rd := out.NewReader()
+	for {
+		if _, ok := rd.Next(); !ok {
+			break
+		}
+	}
+	if err := out.StreamErr(); err == nil {
+		t.Fatal("stream exhausted the heap mid-run but StreamErr is nil")
+	}
+	// Materialized generation of the same params fails eagerly.
+	if _, err := Generate(RBTree, p); err == nil {
+		t.Fatal("Generate succeeded on params that exhaust the heap")
+	}
+}
+
+// TestCalibration sanity-checks InstructionsPerOp: positive, finite, and
+// stable for a fixed seed.
+func TestCalibration(t *testing.T) {
+	p := testParams(1, 200, 0)
+	a, err := InstructionsPerOp(SPS, p)
+	if err != nil {
+		t.Fatalf("InstructionsPerOp: %v", err)
+	}
+	if a <= 1 {
+		t.Errorf("instructions per op = %g, want > 1", a)
+	}
+	b, err := InstructionsPerOp(SPS, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("calibration not deterministic: %g vs %g", a, b)
+	}
+}

@@ -26,8 +26,9 @@ type Meta struct {
 	// ArrayBase/ArrayLen describe the sps array.
 	ArrayBase uint64
 	ArrayLen  int
-	// MaxElems bounds traversals (cycle detection).
-	MaxElems int
+	// MaxElems bounds traversals (cycle detection). 64-bit because it is
+	// derived from the op count, which reaches billions at paper scale.
+	MaxElems int64
 }
 
 // CheckImage verifies benchmark b's structural invariants against img.
@@ -68,10 +69,10 @@ func checkSPSImage(meta Meta, img *memimage.Image) error {
 }
 
 func checkGraphImage(meta Meta, img *memimage.Image) error {
-	total := 0
+	var total int64
 	for v := 0; v < meta.Vertices; v++ {
 		node := img.ReadWord(meta.Heads + uint64(v)*8)
-		steps := 0
+		var steps int64
 		for node != 0 {
 			to := img.ReadWord(node + geTo*8)
 			if to >= uint64(meta.Vertices) {
@@ -94,7 +95,7 @@ func checkHashtableImage(meta Meta, img *memimage.Image) error {
 	seen := make(map[uint64]bool)
 	for i := 0; i < meta.NBuckets; i++ {
 		node := img.ReadWord(meta.Buckets + uint64(i)*8)
-		steps := 0
+		var steps int64
 		for node != 0 {
 			key := img.ReadWord(node + htKey*8)
 			if key == 0 {
@@ -125,7 +126,7 @@ func checkRBTreeImage(meta Meta, img *memimage.Image) error {
 	if read(root, rbColor) != rbBlack {
 		return fmt.Errorf("rbtree root is red")
 	}
-	count := 0
+	var count int64
 	var walk func(n, lo, hi uint64) (int, error)
 	walk = func(n, lo, hi uint64) (int, error) {
 		if n == 0 {
@@ -174,14 +175,14 @@ func checkBTreeImage(meta Meta, img *memimage.Image) error {
 		return int(h & 0xffffffff), h&btLeafBit != 0
 	}
 	leafDepth := -1
-	count := 0
+	var count int64
 	var walk func(n, lo, hi uint64, depth int) error
 	walk = func(n, lo, hi uint64, depth int) error {
 		c, leaf := header(n)
 		if c < 0 || c > btMaxKeys {
 			return fmt.Errorf("btree node %#x count %d out of range", n, c)
 		}
-		if count += c; count > meta.MaxElems {
+		if count += int64(c); count > meta.MaxElems {
 			return fmt.Errorf("btree cycle or overgrowth")
 		}
 		var prev uint64

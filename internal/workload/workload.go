@@ -197,16 +197,44 @@ func DefaultParams(b Benchmark, core, nCores int, seed uint64, initialSize, ops 
 type Output struct {
 	Benchmark Benchmark
 	Params    Params
-	Trace     *trace.Trace
-	Recorder  *trace.Recorder
+	// Trace is the materialized record sequence (nil in streaming mode).
+	Trace    *trace.Trace
+	Recorder *trace.Recorder
+	// Stream is the lazy record producer (nil in materialized mode): the
+	// measured window's op() loop runs behind a bounded per-op buffer as
+	// the core pulls records, so memory stays O(structure footprint)
+	// instead of O(run length).
+	Stream *trace.Generator
 	// Meta anchors the structure for post-crash image validation.
 	Meta Meta
 	// BaseImage is the post-warmup architectural image: the durable NVM
 	// state at the start of the measured window.
 	BaseImage *memimage.Image
 	// FinalImage is BaseImage plus every committed transaction — what
-	// NVM must contain once all persistence traffic drains.
+	// NVM must contain once all persistence traffic drains. In streaming
+	// mode it fills incrementally and is complete only once Stream is
+	// exhausted.
 	FinalImage *memimage.Image
+}
+
+// NewReader returns the trace source the core model consumes: the
+// generator in streaming mode, a slice reader otherwise.
+func (o *Output) NewReader() trace.Reader {
+	if o.Stream != nil {
+		return o.Stream
+	}
+	return trace.NewReader(o.Trace)
+}
+
+// StreamErr surfaces a streaming generation failure (a workload error,
+// invariant violation or malformed record mid-run). The core model sees
+// a failed stream as merely exhausted, so drivers must check this after
+// the run. Always nil in materialized mode — Generate validates eagerly.
+func (o *Output) StreamErr() error {
+	if o.Stream != nil {
+		return o.Stream.Err()
+	}
+	return nil
 }
 
 // bench is the internal contract each data structure implements.
@@ -225,10 +253,27 @@ type bench interface {
 	describe() Meta
 }
 
-// Generate builds the data structure, runs the measured window, and
-// returns the trace plus oracle. The returned trace always passes
-// trace.Validate.
-func Generate(b Benchmark, p Params) (*Output, error) {
+// ringWords sizes the volatile scratch ring every benchmark keeps in
+// DRAM (per-operation application bookkeeping), so the DRAM path is
+// exercised alongside the NVM path.
+const ringWords = 1024
+
+// generation is the shared state of one core's workload run: the data
+// structure, its recorder, and the volatile scratch ring. Both the
+// materialized (Generate) and streaming (NewStream) paths drive it, so
+// the two produce identical record sequences by construction.
+type generation struct {
+	b    Benchmark
+	p    Params
+	impl bench
+	rec  *trace.Recorder
+	base *memimage.Image
+	ring uint64
+}
+
+// build assembles the benchmark, runs the (untraced) warmup and captures
+// the post-warmup base image; the measured window has not started yet.
+func build(b Benchmark, p Params) (*generation, error) {
 	rec := trace.NewRecorder(memimage.New())
 	rng := sim.NewRNG(p.Seed)
 	hp := pheap.New(p.PersistentRegion)
@@ -252,10 +297,6 @@ func Generate(b Benchmark, p Params) (*Output, error) {
 		return nil, fmt.Errorf("workload: unknown benchmark %d", int(b))
 	}
 
-	// Every benchmark also keeps a small volatile scratch ring in DRAM
-	// (per-operation application bookkeeping), so the DRAM path is
-	// exercised alongside the NVM path.
-	const ringWords = 1024
 	ring, err := hv.Alloc(ringWords)
 	if err != nil {
 		return nil, fmt.Errorf("workload %s: volatile ring: %w", b, err)
@@ -267,31 +308,114 @@ func Generate(b Benchmark, p Params) (*Output, error) {
 	}
 	rec.SetQuiet(false)
 	base := rec.Image().Snapshot()
+	rec.SetFinalBase(base)
+	return &generation{b: b, p: p, impl: impl, rec: rec, base: base, ring: ring}, nil
+}
 
+// runOp executes measured operation i: the benchmark op plus the
+// volatile ring traffic.
+func (g *generation) runOp(i int) error {
+	if err := g.impl.op(g.p.SearchesPerOp); err != nil {
+		return fmt.Errorf("workload %s: op %d: %w", g.b, i, err)
+	}
+	g.rec.Store(g.ring+uint64(i%ringWords)*8, uint64(i))
+	if i%4 == 3 {
+		g.rec.Load(g.ring + uint64((i*7)%ringWords)*8)
+	}
+	return nil
+}
+
+// finish verifies the structure's invariants over the program image once
+// the measured window completes.
+func (g *generation) finish() error {
+	if err := g.impl.check(); err != nil {
+		return fmt.Errorf("workload %s: invariant check: %w", g.b, err)
+	}
+	return nil
+}
+
+// output assembles the Output common to both paths.
+func (g *generation) output() *Output {
+	meta := g.impl.describe()
+	meta.MaxElems = 4*(int64(g.p.InitialSize)+int64(g.p.Ops)) + 16
+	return &Output{
+		Benchmark:  g.b,
+		Params:     g.p,
+		Recorder:   g.rec,
+		Meta:       meta,
+		BaseImage:  g.base,
+		FinalImage: g.rec.FinalImage(),
+	}
+}
+
+// Generate builds the data structure, runs the measured window, and
+// returns the materialized trace plus oracle. The returned trace always
+// passes trace.Validate.
+func Generate(b Benchmark, p Params) (*Output, error) {
+	g, err := build(b, p)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < p.Ops; i++ {
-		if err := impl.op(p.SearchesPerOp); err != nil {
-			return nil, fmt.Errorf("workload %s: op %d: %w", b, i, err)
-		}
-		rec.Store(ring+uint64(i%ringWords)*8, uint64(i))
-		if i%4 == 3 {
-			rec.Load(ring + uint64((i*7)%ringWords)*8)
+		if err := g.runOp(i); err != nil {
+			return nil, err
 		}
 	}
-	if err := impl.check(); err != nil {
-		return nil, fmt.Errorf("workload %s: invariant check: %w", b, err)
+	if err := g.finish(); err != nil {
+		return nil, err
 	}
-	if err := trace.Validate(&rec.Trace); err != nil {
+	if err := trace.Validate(&g.rec.Trace); err != nil {
 		return nil, fmt.Errorf("workload %s: invalid trace: %w", b, err)
 	}
-	meta := impl.describe()
-	meta.MaxElems = 4*(p.InitialSize+p.Ops) + 16
-	return &Output{
-		Benchmark:  b,
-		Params:     p,
-		Trace:      &rec.Trace,
-		Recorder:   rec,
-		Meta:       meta,
-		BaseImage:  base,
-		FinalImage: rec.CommittedPrefixImage(base, len(rec.Committed())),
-	}, nil
+	out := g.output()
+	out.Trace = &g.rec.Trace
+	return out, nil
+}
+
+// NewStream builds the data structure (warmup included, so BaseImage is
+// ready for machine construction) but defers the measured window: the
+// returned Output carries a trace.Generator that runs one op per refill
+// of its bounded buffer as the consumer pulls records. Records are
+// validated as they flow by (the streaming trace.Validate), structural
+// invariants are checked at exhaustion, and any failure surfaces through
+// Output.StreamErr. The record sequence is byte-identical to Generate's
+// for the same parameters; memory stays O(structure footprint) instead
+// of O(ops).
+func NewStream(b Benchmark, p Params) (*Output, error) {
+	g, err := build(b, p)
+	if err != nil {
+		return nil, err
+	}
+	// The full per-transaction history is O(ops) memory; streaming runs
+	// rely on the incremental final image and counters instead.
+	g.rec.SetRetainTxHistory(false)
+	var sv trace.StreamValidator
+	i := 0
+	gen := trace.NewGenerator(func(emit func(trace.Record)) (bool, error) {
+		g.rec.SetSink(emit)
+		if i >= g.p.Ops {
+			if err := g.finish(); err != nil {
+				return false, err
+			}
+			// Every emitted record has already passed the per-record
+			// check (the buffer drains before each refill), so only the
+			// end-of-stream condition remains.
+			if err := sv.Finish(); err != nil {
+				return false, fmt.Errorf("workload %s: invalid trace: %w", g.b, err)
+			}
+			return false, nil
+		}
+		err := g.runOp(i)
+		i++
+		return err == nil, err
+	})
+	gen.SetCheck(func(r trace.Record) error {
+		if err := sv.Check(r); err != nil {
+			return fmt.Errorf("workload %s: invalid trace: %w", g.b, err)
+		}
+		return nil
+	})
+	out := g.output()
+	out.Stream = gen
+	return out, nil
 }

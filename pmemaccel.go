@@ -53,6 +53,17 @@ type Config struct {
 	InitialSize int
 	Ops         int
 
+	// Streaming generates each core's workload lazily: the measured
+	// window's op() loop runs behind a small bounded buffer as the core
+	// pulls records, instead of materializing the full trace and
+	// per-transaction oracle history up front. Results are byte-identical
+	// to materialized runs (the streaming golden tests pin it) but memory
+	// stays O(structure footprint) instead of O(ops) — what makes
+	// paper-scale instruction windows possible. Mid-run crash-prefix
+	// recovery checking needs the materialized history, so streaming is
+	// off by default.
+	Streaming bool
+
 	// Scale divides the cache and transaction-cache capacities by a
 	// power of two, shrinking the machine for fast runs while keeping
 	// capacity ratios. 1 reproduces Table 2 exactly.

@@ -61,11 +61,19 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	s := &System{Config: cfg}
 
-	// Workloads first: their base images seed the memory state.
+	// Workloads first: their base images seed the memory state. In
+	// streaming mode the measured window is deferred — each output holds
+	// a generator the core pulls records from during the run, so no
+	// materialized trace (or per-transaction history) ever exists.
 	for c := 0; c < cfg.Cores; c++ {
 		bench := cfg.benchmarkFor(c)
 		p := workload.DefaultParams(bench, c, cfg.Cores, cfg.Seed, cfg.InitialSize, cfg.Ops)
-		out, err := workload.Generate(bench, p)
+		var out *workload.Output
+		if cfg.Streaming {
+			out, err = workload.NewStream(bench, p)
+		} else {
+			out, err = workload.Generate(bench, p)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("pmemaccel: core %d: %w", c, err)
 		}
@@ -151,7 +159,7 @@ func NewSystem(cfg Config) (*System, error) {
 	s.Mech.Attach(s.Hier)
 
 	for c := 0; c < cfg.Cores; c++ {
-		rd := s.Mech.Rewrite(c, trace.NewReader(s.Outputs[c].Trace))
+		rd := s.Mech.Rewrite(c, s.Outputs[c].NewReader())
 		core := cpu.New(ctxs[c], c, cfg.CPU, s.Hier, s.Mech, rd,
 			func(addr, value uint64) { s.Live.WriteWord(addr, value) })
 		core.SetProbe(s.Probe)
@@ -186,6 +194,12 @@ func NewSystem(cfg Config) (*System, error) {
 // touches an address outside every mapped memory space. The backend's
 // For would report such an address as a run-time fault; catching it here
 // turns a mid-run surprise into a build-time error naming the record.
+//
+// In streaming mode there is no materialized trace to scan; the record
+// half of this check runs incrementally instead — the generator's
+// per-record validator (trace.StreamValidator) classifies every load and
+// store address as it flows by, and a violation surfaces through
+// Output.StreamErr after the run. Only the base image is checked eagerly.
 func validateAddressSpaces(out *workload.Output) error {
 	var err error
 	out.BaseImage.ForEach(func(addr, _ uint64) {
@@ -195,6 +209,9 @@ func validateAddressSpaces(out *workload.Output) error {
 	})
 	if err != nil {
 		return err
+	}
+	if out.Trace == nil {
+		return nil
 	}
 	for i, rec := range out.Trace.Records {
 		switch rec.Kind {
@@ -266,6 +283,14 @@ func (s *System) Run() (*Result, error) {
 	if err := s.Backend.Fault(); err != nil {
 		return nil, fmt.Errorf("pmemaccel: %w", err)
 	}
+	// A streaming generator that failed mid-run (workload error, invariant
+	// violation, malformed record) looks exhausted to its core; surface the
+	// sticky error now so a truncated run never passes as a clean one.
+	for c, out := range s.Outputs {
+		if err := out.StreamErr(); err != nil {
+			return nil, fmt.Errorf("pmemaccel: core %d: %w", c, err)
+		}
+	}
 	return s.collect(endOfTrace), nil
 }
 
@@ -304,6 +329,20 @@ func (s *System) ExpectedDurable() *memimage.Image {
 		})
 	}
 	for c, out := range s.Outputs {
+		if !out.Recorder.RetainsTxHistory() {
+			// Streaming runs keep no per-transaction history — only the
+			// incremental final image (base plus every committed write
+			// set). That equals the per-prefix expectation exactly when
+			// every committed transaction is durably committed, which
+			// holds after Run drains the machine; mid-run crash-prefix
+			// checking needs the materialized mode.
+			out.FinalImage.ForEach(func(addr, v uint64) {
+				if memaddr.Classify(addr) == memaddr.SpaceNVM {
+					img.WriteWord(addr, v)
+				}
+			})
+			continue
+		}
 		n := int(s.Mech.DurablyCommitted(c))
 		committed := out.Recorder.Committed()
 		if n > len(committed) {
