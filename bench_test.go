@@ -227,6 +227,28 @@ func BenchmarkSimulatorSpeedStreaming(b *testing.B) {
 	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
 }
 
+// BenchmarkSimulatorSpeedContended is BenchmarkSimulatorSpeed on the
+// contended many-core cell: 16 cores running bankshared, where half the
+// transactions transfer between shared accounts and every shared store
+// goes through line arbitration. The sim_cycles/s delta against the
+// serial rbtree bench prices the conflict-detection path (ownership
+// probes, abort/replay, commit-order oracle bookkeeping) on a machine
+// 4x the paper's width.
+func BenchmarkSimulatorSpeedContended(b *testing.B) {
+	var simCycles uint64
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(workload.BankShared, TCache)
+		cfg.Cores = 16
+		cfg.Ops = 1000
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simCycles += res.Cycles
+	}
+	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+}
+
 // BenchmarkSimulatorSpeedMultiChannel is BenchmarkSimulatorSpeed on a
 // 4-channel NVM backend — the first memory-side scaling scenario. The
 // sim_cycles/s delta against the single-channel bench prices the extra

@@ -27,10 +27,17 @@ func main() {
 		benchName = flag.String("bench", "", "benchmark (default depends on sweep)")
 		mechName  = flag.String("mech", "tcache", "mechanism (mlp sweep only)")
 		ops       = flag.Int("ops", 0, "operations per core (0 = sweep default)")
+		cores     = flag.Int("cores", 0, "core count, a power of two up to 64 (0 = sweep default)")
 		jobs      = flag.Int("j", 0, "concurrent sweep points (0 = all cores); tables are identical for every -j")
 	)
 	flag.Parse()
 
+	if *ops < 0 {
+		fatal(fmt.Errorf("-ops %d is negative; pass a positive value or omit the flag for the default", *ops))
+	}
+	if err := pmemaccel.ValidateCLICores(*cores); err != nil {
+		fatal(fmt.Errorf("-cores: %w", err))
+	}
 	mech, err := mechanism.ParseKind(*mechName)
 	if err != nil {
 		fatal(err)
@@ -49,6 +56,9 @@ func main() {
 		cfg := ablation.QuickBase(b, m)
 		if *ops > 0 {
 			cfg.Ops = *ops
+		}
+		if *cores > 0 {
+			cfg.Cores = *cores
 		}
 		return cfg
 	}

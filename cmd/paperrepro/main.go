@@ -10,7 +10,11 @@
 //	paperrepro -config         # Table 2 machine configuration
 //	paperrepro -workloads      # Table 3 workload descriptions
 //	paperrepro -stalls         # TC-full stall fractions
+//	paperrepro -contention     # cores x contention x mechanism sweep (bankshared)
 //	paperrepro -bars -csv ...  # output formats
+//
+// -cores widens the simulated machine (power of two up to 64) for the
+// figure grid and re-prices Table 1's per-core structures.
 package main
 
 import (
@@ -34,10 +38,12 @@ func main() {
 		config    = flag.Bool("config", false, "print the Table 2 machine configuration and exit")
 		workloads = flag.Bool("workloads", false, "print the Table 3 workload list and exit")
 		stalls    = flag.Bool("stalls", false, "print TC-full stall fractions (§5.2)")
+		contSweep = flag.Bool("contention", false, "run the cross-core contention sweep (cores x contention x mechanism on bankshared) instead of the figure grid")
 		bars      = flag.Bool("bars", false, "render figures as bar charts")
 		csv       = flag.Bool("csv", false, "render figures as CSV")
 		markdown  = flag.Bool("markdown", false, "render figures as markdown tables (EXPERIMENTS.md format)")
 		ops       = flag.Int("ops", 0, "operations per core (0 = default)")
+		cores     = flag.Int("cores", 0, "core count, a power of two up to 64 (0 = 4; ignored by -contention, which sweeps widths itself)")
 		scale     = flag.Int("scale", 0, "cache scale divisor (0 = default 64; 1 = full Table 2 machine)")
 		stream    = flag.Bool("stream", false, "stream workload generation (O(1) memory in ops; byte-identical results)")
 		paperScl  = flag.Bool("paper-scale", false, "size ops to the paper's 1.7G-instruction window per cell (implies -stream; slow)")
@@ -62,7 +68,7 @@ func main() {
 		name string
 		val  int
 	}{
-		{"ops", *ops}, {"scale", *scale},
+		{"ops", *ops}, {"scale", *scale}, {"cores", *cores},
 		{"nvm-channels", *nvmChans}, {"dram-channels", *dramChans},
 		{"j", *jobs}, {"par-kernel", *parKernel},
 	} {
@@ -70,6 +76,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "paperrepro: -%s %d is negative; pass a positive value or omit the flag for the default\n", f.name, f.val)
 			os.Exit(1)
 		}
+	}
+	if err := pmemaccel.ValidateCLICores(*cores); err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro: -cores:", err)
+		os.Exit(1)
 	}
 
 	if *cpuprofile != "" {
@@ -89,8 +99,14 @@ func main() {
 	}
 
 	if *table1 {
+		// The paper's Table 1 costs out the 4-core machine; -cores re-prices
+		// the per-core structures for wider topologies.
+		n := pmemaccel.DefaultCores
+		if *cores > 0 {
+			n = *cores
+		}
 		fmt.Print(hwcost.Config{
-			Cores: 4, TCBytes: 4 << 10, TCEntryBytes: 64, LineBytes: 64,
+			Cores: n, TCBytes: 4 << 10, TCEntryBytes: 64, LineBytes: 64,
 			L1Bytes: 32 << 10, L2Bytes: 256 << 10, LLCBytes: 64 << 20,
 		}.Render())
 		return
@@ -115,6 +131,9 @@ func main() {
 		if *scale > 0 {
 			cfg.Scale = *scale
 		}
+		if *cores > 0 {
+			cfg.Cores = *cores
+		}
 		cfg.NVMChannels = *nvmChans
 		cfg.DRAMChannels = *dramChans
 		cfg.Seed = *seed
@@ -135,6 +154,43 @@ func main() {
 			cfg = scaled
 		}
 		return cfg
+	}
+
+	if *contSweep {
+		sweepCores := []int{4, 16, 64}
+		sweepPcts := []float64{0.1, 0.5, 0.9}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %dx%dx%d contention sweep on %d workers...\n",
+			len(sweepCores), len(sweepPcts), len(figures.Mechs), sweep.Workers(*jobs))
+		var onCell func(string, *pmemaccel.Result)
+		if !*progress {
+			onCell = func(row string, r *pmemaccel.Result) {
+				fmt.Fprintf(os.Stderr, "  [%s] %v\n", row, r)
+			}
+		}
+		ipc, share, aborts, err := figures.ContentionSweep(
+			sweepCores, sweepPcts, figures.Mechs, configure, onCell, *jobs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sweep complete in %v\n\n", time.Since(start).Round(time.Second))
+		for _, s := range []interface {
+			Table() string
+			Markdown() string
+			CSV() string
+		}{ipc, share, aborts} {
+			switch {
+			case *markdown:
+				fmt.Print(s.Markdown())
+			case *csv:
+				fmt.Print(s.CSV())
+			default:
+				fmt.Print(s.Table())
+			}
+			fmt.Println()
+		}
+		return
 	}
 
 	start := time.Now()

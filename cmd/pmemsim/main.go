@@ -43,12 +43,12 @@ import (
 
 func main() {
 	var (
-		benchName = flag.String("bench", "rbtree", "benchmark: graph, rbtree, sps, btree, hashtable")
+		benchName = flag.String("bench", "rbtree", "benchmark: graph, rbtree, sps, btree, hashtable, bank, bankshared")
 		mechName  = flag.String("mech", "tcache", "mechanism: sp, tcache, kiln, optimal")
 		ops       = flag.Int("ops", 0, "operations per core (0 = default)")
 		initial   = flag.Int("initial", 0, "prepopulated elements per core (0 = auto-size to the LLC)")
 		scale     = flag.Int("scale", 0, "cache scale divisor, power of two (0 = default)")
-		cores     = flag.Int("cores", 0, "core count (0 = 4)")
+		cores     = flag.Int("cores", 0, "core count, a power of two up to 64 (0 = 4)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		tcBytes   = flag.Int("tc", 0, "transaction cache bytes per core (0 = 4096)")
 
@@ -56,6 +56,8 @@ func main() {
 		dramChans  = flag.Int("dram-channels", 0, "address-interleaved DRAM channels (0 = 1)")
 		interleave = flag.Int("interleave", 0, "channel interleave granularity in bytes, power of two (0 = 4096)")
 		paper      = flag.Bool("paper", false, "use the full Table 2 machine (Scale 1; slow)")
+		contention = flag.Float64("contention", 0, "shared-op fraction for -bench bankshared, in (0,1] (0 = workload default 0.5)")
+		sharedAcct = flag.Int("shared-accounts", 0, "shared array length in words for -bench bankshared (0 = 64)")
 		stream     = flag.Bool("stream", false, "stream workload generation (O(1) memory in ops; byte-identical results)")
 		paperScale = flag.Bool("paper-scale", false, "size ops to the paper's 1.7G-instruction window (implies -stream; slow)")
 		verbose    = flag.Bool("v", false, "print per-core and subsystem detail")
@@ -86,10 +88,17 @@ func main() {
 		{"cores", *cores}, {"tc", *tcBytes},
 		{"nvm-channels", *nvmChans}, {"dram-channels", *dramChans},
 		{"interleave", *interleave}, {"par-kernel", *parKernel},
+		{"shared-accounts", *sharedAcct},
 	} {
 		if f.val < 0 {
 			fatal(fmt.Errorf("-%s %d is negative; pass a positive value or omit the flag for the default", f.name, f.val))
 		}
+	}
+	if err := checkCoresFlag(*cores); err != nil {
+		fatal(err)
+	}
+	if *contention < 0 || *contention > 1 {
+		fatal(fmt.Errorf("-contention %g must be in [0, 1] (0 selects the workload default)", *contention))
 	}
 
 	if *cpuprofile != "" {
@@ -137,6 +146,8 @@ func main() {
 	cfg.NVMChannels = *nvmChans
 	cfg.DRAMChannels = *dramChans
 	cfg.ChannelInterleaveBytes = *interleave
+	cfg.ContentionPct = *contention
+	cfg.SharedAccounts = *sharedAcct
 	cfg.Seed = *seed
 	cfg.NoFastForward = *noFF
 	cfg.ParWorkers = *parKernel
@@ -197,6 +208,17 @@ func main() {
 	}
 	fmt.Println(res)
 	fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	if *parKernel > 0 {
+		hist := sys.Kernel.WaveWidthHist()
+		inline, disp := sys.Kernel.WaveDispatchStats()
+		fmt.Printf("par-kernel: %d waves inline, %d dispatched; width histogram:", inline, disp)
+		for w, n := range hist {
+			if n > 0 {
+				fmt.Printf(" %d:%d", w, n)
+			}
+		}
+		fmt.Println()
+	}
 	if res.Metrics != nil {
 		fmt.Printf("\n%s", res.Metrics.Table())
 	}
@@ -227,6 +249,14 @@ func main() {
 				float64(len(res.PerCore))*100)
 		fmt.Printf("\n%s", res.AttributionTable())
 	}
+}
+
+// checkCoresFlag applies the CLI core-count policy (power of two ≤ 64).
+func checkCoresFlag(n int) error {
+	if err := pmemaccel.ValidateCLICores(n); err != nil {
+		return fmt.Errorf("-cores: %w", err)
+	}
+	return nil
 }
 
 // writeFile creates path and streams write into it.

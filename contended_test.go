@@ -1,0 +1,173 @@
+package pmemaccel
+
+// Tests for the contended cross-core workload (workload.BankShared):
+// serialization correctness (the recovered NVM image must match the
+// commit-order oracle exactly, under genuine line conflicts and aborts)
+// and execution-mode invariance (serial kernel, -par-kernel 1/2/8, and
+// streaming generation must all produce byte-identical Results).
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pmemaccel/internal/workload"
+)
+
+// contendedConfig is a small but genuinely contended cell: 4 cores
+// hammering the 64-word shared array with 80% shared transfers.
+func contendedConfig(m Kind) Config {
+	cfg := smokeConfig(workload.BankShared, m)
+	cfg.Cores = 4
+	cfg.ContentionPct = 0.8
+	return cfg
+}
+
+// TestContendedConsistencyAllMechanisms runs the contended cell on every
+// mechanism and pins the core contract: zero durable diffs (recovery
+// reproduces the commit-order oracle), real aborts on the arbitrated
+// mechanisms, and none on SP (deferred in-place stores have no conflict
+// window — correctness comes from global-order log replay instead).
+func TestContendedConsistencyAllMechanisms(t *testing.T) {
+	for _, m := range []Kind{SP, TCache, Kiln, Optimal} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			t.Parallel()
+			r, err := Run(contendedConfig(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Optimal reports -1 (no recovery semantics to check); every
+			// real mechanism must recover the commit-order oracle exactly.
+			if r.DurableDiffCount > 0 {
+				t.Fatalf("%d durable diffs; recovered image must match the commit-order oracle", r.DurableDiffCount)
+			}
+			aborts, retries := r.TotalTxAborts(), uint64(0)
+			for _, st := range r.PerCore {
+				retries += st.TxRetries
+			}
+			if m == SP {
+				if aborts != 0 || r.Arb.Acquires != 0 {
+					t.Fatalf("SP does not arbitrate, got %d aborts, %d acquires", aborts, r.Arb.Acquires)
+				}
+				return
+			}
+			if aborts == 0 {
+				t.Fatal("80% contention produced zero aborts; conflict detection is not firing")
+			}
+			if retries < aborts {
+				t.Fatalf("%d retries < %d aborts; every aborted transaction must eventually re-execute", retries, aborts)
+			}
+			if r.TotalWastedInstructions() == 0 {
+				t.Fatal("aborts without wasted instructions; abort accounting is broken")
+			}
+			if r.Arb.Acquires == 0 || r.Arb.Conflicts == 0 {
+				t.Fatalf("arbiter stats empty under contention: %+v", r.Arb)
+			}
+			// Acquires counts every decided request (grants + denials);
+			// at quiescence each grant must have been matched by exactly
+			// one release, or line ownership leaked past the run.
+			if grants := r.Arb.Acquires - r.Arb.Conflicts; r.Arb.Releases != grants {
+				t.Fatalf("%d grants (%d acquires - %d conflicts) but %d releases; line ownership leaked",
+					grants, r.Arb.Acquires, r.Arb.Conflicts, r.Arb.Releases)
+			}
+		})
+	}
+}
+
+// TestContendedKernelAndStreamingInvariance pins that the contended path
+// keeps the simulator's strongest property: the Result is byte-identical
+// across the serial kernel, -par-kernel 1/2/8, and streaming workload
+// generation (which re-derives the shared-line oracle incrementally).
+func TestContendedKernelAndStreamingInvariance(t *testing.T) {
+	for _, m := range []Kind{SP, TCache, Kiln, Optimal} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := contendedConfig(m)
+			base := runWithWorkers(t, cfg, 0)
+			base.Config = Config{}
+			for _, w := range []int{1, 2, 8} {
+				r := runWithWorkers(t, cfg, w)
+				r.Config = Config{}
+				if !reflect.DeepEqual(base, r) {
+					t.Errorf("-par-kernel %d diverges from serial:\n  serial: %v\n  par:    %v", w, base, r)
+				}
+			}
+			for _, workers := range []int{0, 4} {
+				sc := cfg
+				sc.Streaming = true
+				r := runWithWorkers(t, sc, workers)
+				r.Config = Config{}
+				if !reflect.DeepEqual(base, r) {
+					t.Errorf("streaming (workers=%d) diverges from materialized serial:\n  mat:    %v\n  stream: %v",
+						workers, base, r)
+				}
+			}
+		})
+	}
+}
+
+// TestContendedForcedDispatch drops the dispatch threshold to 2 so every
+// multi-busy wave of the contended cell goes through worker dispatch and
+// journal replay — under -race this is the CI sweep of the arbiter
+// verdict protocol against real concurrent component ticks.
+func TestContendedForcedDispatch(t *testing.T) {
+	for _, m := range []Kind{TCache, Kiln, Optimal} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := contendedConfig(m)
+			serial := runWithWorkers(t, cfg, 0)
+			par := runWithThreshold(t, cfg, 4, 2)
+			serial.Config = Config{}
+			par.Config = Config{}
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("forced-dispatch contended results diverge:\n  serial: %v\n  par:    %v", serial, par)
+			}
+		})
+	}
+}
+
+// TestContendedCoreWidths runs the contended cell across machine widths
+// (1 core = degenerate, no cross-core conflicts possible; 4/16/64 = the
+// sweep's grid points) and checks width-parameterized invariants: per-core
+// surfaces sized to the width, a consistent image at every width, and
+// the attribution table rendering one row per core plus the aggregate.
+func TestContendedCoreWidths(t *testing.T) {
+	for _, n := range []int{1, 4, 16, 64} {
+		n := n
+		t.Run(strconv.Itoa(n)+"cores", func(t *testing.T) {
+			t.Parallel()
+			cfg := smokeConfig(workload.BankShared, TCache)
+			cfg.Cores = n
+			cfg.Ops = 60
+			r, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.PerCore) != n || len(r.TC) != n {
+				t.Fatalf("per-core surfaces sized %d/%d, want %d", len(r.PerCore), len(r.TC), n)
+			}
+			if r.DurableDiffCount != 0 {
+				t.Fatalf("%d durable diffs at %d cores", r.DurableDiffCount, n)
+			}
+			if n == 1 && r.TotalTxAborts() != 0 {
+				t.Fatalf("single core aborted %d times; it can only conflict with itself", r.TotalTxAborts())
+			}
+			tbl := r.AttributionTable()
+			for _, want := range []string{"core0", "all", "abort-stall"} {
+				if !strings.Contains(tbl, want) {
+					t.Fatalf("attribution table at %d cores missing %q:\n%s", n, want, tbl)
+				}
+			}
+			if last := "core" + strconv.Itoa(n-1); !strings.Contains(tbl, last) {
+				t.Fatalf("attribution table at %d cores missing %q", n, last)
+			}
+			if over := "core" + strconv.Itoa(n); strings.Contains(tbl, over) {
+				t.Fatalf("attribution table at %d cores has phantom row %q", n, over)
+			}
+		})
+	}
+}

@@ -50,6 +50,14 @@ type Export struct {
 	TCFullStallPct   float64 `json:"tc_full_stall_pct"`
 	DurableDiffCount int     `json:"durable_diff_count"`
 
+	// Contention surface (contended benchmarks only; omitted when the
+	// run had no aborts and no shared-line arbitration).
+	TxAborts           uint64  `json:"tx_aborts,omitempty"`
+	AbortRate          float64 `json:"abort_rate,omitempty"`
+	WastedInstructions uint64  `json:"wasted_instructions,omitempty"`
+	LineConflicts      uint64  `json:"line_conflicts,omitempty"`
+	LineAcquires       uint64  `json:"line_acquires,omitempty"`
+
 	// SkippedCycles is the kernel's quiescence fast-forward audit
 	// counter: how many of Cycles were proven idle and bulk-applied
 	// rather than stepped. Always 0 under -no-ff.
@@ -108,6 +116,12 @@ func (r *Result) Export() Export {
 		NVMWearHotness:   r.NVMWearHotness,
 		DurableDiffCount: r.DurableDiffCount,
 
+		TxAborts:           r.TotalTxAborts(),
+		AbortRate:          r.AbortRate(),
+		WastedInstructions: r.TotalWastedInstructions(),
+		LineConflicts:      r.Arb.Conflicts,
+		LineAcquires:       r.Arb.Acquires,
+
 		SkippedCycles:       r.SkippedCycles,
 		Metrics:             r.Metrics,
 		ObsEventsRecorded:   r.ObsEventsRecorded,
@@ -127,7 +141,7 @@ func (r *Result) Export() Export {
 	}
 	if n := uint64(len(r.PerCore)) * r.Cycles; n > 0 {
 		e.Attribution = make(map[string]float64, len(cpu.BreakdownCategories))
-		var agg [8]uint64
+		agg := make([]uint64, len(cpu.BreakdownCategories))
 		for _, st := range r.PerCore {
 			for i, v := range st.Breakdown.Values() {
 				agg[i] += v

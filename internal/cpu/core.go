@@ -21,8 +21,13 @@ import (
 // StoreAction tells the core how to treat one persistent store.
 type StoreAction struct {
 	// Retry stalls the core one cycle and asks again (transaction
-	// cache full).
+	// cache full, or a shared-line ownership request in flight).
 	Retry bool
+	// Abort squashes the current transaction: the core lost a
+	// shared-line conflict arbitration. It discards the in-flight
+	// record, waits out a bounded exponential backoff, and replays the
+	// transaction from TX_BEGIN out of its replay buffer.
+	Abort bool
 	// TxTag and Uncommitted tag the store's cache line for mechanisms
 	// that track transaction ownership in the hierarchy (Kiln).
 	TxTag       uint64
@@ -105,6 +110,9 @@ type CycleBreakdown struct {
 	// DrainWait: the trace is exhausted but outstanding memory
 	// operations are still completing.
 	DrainWait uint64
+	// AbortStall: the core sat out a conflict-abort backoff window
+	// before replaying the squashed transaction.
+	AbortStall uint64
 	// Idle: cycles after this core finished, up to the end of the
 	// measurement window (filled at collection time).
 	Idle uint64
@@ -114,7 +122,7 @@ type CycleBreakdown struct {
 // while running.
 func (b CycleBreakdown) Busy() uint64 {
 	return b.Compute + b.LoadStall + b.StoreBufStall + b.TCFullStall +
-		b.FenceStall + b.CommitWait + b.DrainWait
+		b.FenceStall + b.CommitWait + b.DrainWait + b.AbortStall
 }
 
 // Total sums every bucket including Idle.
@@ -124,13 +132,13 @@ func (b CycleBreakdown) Total() uint64 { return b.Busy() + b.Idle }
 // with CycleBreakdown.Values.
 var BreakdownCategories = []string{
 	"compute", "load-stall", "storebuf-stall", "tc-full-stall",
-	"fence-stall", "commit-wait", "drain-wait", "idle",
+	"fence-stall", "commit-wait", "drain-wait", "abort-stall", "idle",
 }
 
 // Values returns the buckets in BreakdownCategories order.
 func (b CycleBreakdown) Values() []uint64 {
 	return []uint64{b.Compute, b.LoadStall, b.StoreBufStall, b.TCFullStall,
-		b.FenceStall, b.CommitWait, b.DrainWait, b.Idle}
+		b.FenceStall, b.CommitWait, b.DrainWait, b.AbortStall, b.Idle}
 }
 
 // Stats accumulates one core's activity.
@@ -154,6 +162,17 @@ type Stats struct {
 	StallStoreRetry uint64
 	StallFence      uint64
 	StallCommit     uint64
+	StallAbort      uint64
+
+	// Contention outcomes: transactions squashed by shared-line
+	// conflict arbitration (TxAborts), replays started (TxRetries —
+	// equal to TxAborts under abort-and-retry), and the instructions
+	// the aborted attempts retired before being squashed
+	// (WastedInstructions; these also remain in Instructions, so IPC
+	// reflects the wasted work's cost).
+	TxAborts           uint64
+	TxRetries          uint64
+	WastedInstructions uint64
 
 	// Breakdown attributes each active cycle to exactly one category
 	// (the stall counters above may coexist with partial issue; the
@@ -180,6 +199,22 @@ type Core struct {
 	hasCur      bool
 	computeLeft int
 	exhausted   bool
+
+	// Transaction replay buffer: every record fetched while inside a
+	// transaction is retained until the TX_END retires, so a
+	// conflict-aborted transaction can re-execute from TX_BEGIN without
+	// re-pulling the (possibly streaming, non-rewindable) reader.
+	// replayIdx tracks the consumed prefix; on abort it rewinds to 0.
+	txBuf     []trace.Record
+	replayIdx int
+	inTx      bool
+
+	// Conflict-abort state: while aborting, the core sits out an
+	// exponential-backoff window (a scheduled wake event ends it, so
+	// fast-forward skips the stall) before replaying from txBuf.
+	aborting      bool
+	abortAttempts int
+	txInstrBase   uint64 // Instructions at TX_BEGIN, for wasted-work accounting
 
 	mode uint64 // Mode/TxID register: nonzero inside a transaction
 
@@ -252,13 +287,26 @@ func (c *Core) Mode() uint64 { return c.mode }
 // Finished reports whether the trace is exhausted and every outstanding
 // access has completed.
 func (c *Core) Finished() bool {
-	return c.exhausted && !c.hasCur && c.outStores == 0 && c.outFlushes == 0 &&
-		c.outLoads == 0 && !c.commitWait
+	return c.exhausted && !c.hasCur && !c.aborting && c.outStores == 0 &&
+		c.outFlushes == 0 && c.outLoads == 0 && !c.commitWait
 }
 
-// fetch pulls the next record if none is current.
+// fetch pulls the next record if none is current: first from the
+// unconsumed tail of the transaction replay buffer (after an abort),
+// then from the reader. Reader records fetched inside a transaction are
+// appended to the buffer as they arrive, so the buffer always holds the
+// full consumed prefix of the open transaction.
 func (c *Core) fetch() bool {
 	if c.hasCur {
+		return true
+	}
+	if c.replayIdx < len(c.txBuf) {
+		c.cur = c.txBuf[c.replayIdx]
+		c.replayIdx++
+		c.hasCur = true
+		if c.cur.Kind == trace.KindCompute {
+			c.computeLeft = c.cur.N
+		}
 		return true
 	}
 	rec, ok := c.rd.Next()
@@ -266,12 +314,48 @@ func (c *Core) fetch() bool {
 		c.exhausted = true
 		return false
 	}
+	if rec.Kind == trace.KindTxBegin {
+		c.inTx = true
+		c.txBuf = c.txBuf[:0]
+		c.replayIdx = 0
+	}
+	if c.inTx {
+		c.txBuf = append(c.txBuf, rec)
+		c.replayIdx++
+	}
 	c.cur = rec
 	c.hasCur = true
 	if rec.Kind == trace.KindCompute {
 		c.computeLeft = rec.N
 	}
 	return true
+}
+
+// abortTx squashes the open transaction after a lost conflict
+// arbitration: the in-flight store is discarded (it stays in txBuf),
+// the replay cursor rewinds to TX_BEGIN, and the core enters a bounded
+// exponential backoff — 8·2^min(attempts-1,6) cycles plus a small
+// deterministic per-core jitter so symmetric losers desynchronize. The
+// wake is a scheduled kernel event, so quiescence fast-forward skips
+// the stall window.
+func (c *Core) abortTx() {
+	c.stats.TxAborts++
+	c.stats.TxRetries++
+	c.stats.WastedInstructions += c.stats.Instructions - c.txInstrBase
+	c.abortAttempts++
+	c.mode = 0
+	c.hasCur = false
+	c.computeLeft = 0
+	c.replayIdx = 0
+	c.aborting = true
+	attempts := c.abortAttempts - 1
+	if attempts > 6 {
+		attempts = 6
+	}
+	backoff := (uint64(8) << uint(attempts)) + uint64((c.id*7)%8)
+	c.k.Schedule(backoff, func() {
+		c.aborting = false
+	})
 }
 
 func (c *Core) retire() { c.hasCur = false }
@@ -298,6 +382,11 @@ func (c *Core) Tick(now uint64) {
 		return
 	}
 	bd := &c.stats.Breakdown
+	if c.aborting {
+		c.stats.StallAbort++
+		bd.AbortStall++
+		return
+	}
 	if c.commitWait {
 		c.stats.StallCommit++
 		bd.CommitWait++
@@ -365,6 +454,12 @@ func (c *Core) Tick(now uint64) {
 			act := StoreAction{}
 			if persistent {
 				act = c.pers.Store(c.id, c.mode, c.cur.Addr, c.cur.Value)
+				if act.Abort {
+					c.abortTx()
+					c.stats.StallAbort++
+					bd.AbortStall++
+					return
+				}
 				if act.Retry {
 					c.stats.StallStoreRetry++
 					bd.TCFullStall++
@@ -392,6 +487,7 @@ func (c *Core) Tick(now uint64) {
 		case trace.KindTxBegin:
 			c.mode = c.cur.TxID
 			c.txStart = now
+			c.txInstrBase = c.stats.Instructions
 			if c.fr.Sampled(c.cur.TxID) {
 				txID := c.cur.TxID
 				if c.k.Deferring() {
@@ -417,6 +513,12 @@ func (c *Core) Tick(now uint64) {
 			c.stats.Instructions++
 			c.retire()
 			c.mode = 0
+			// The transaction is past its conflict window: drop the
+			// replay buffer and reset the backoff ladder.
+			c.inTx = false
+			c.txBuf = c.txBuf[:0]
+			c.replayIdx = 0
+			c.abortAttempts = 0
 			txStart := c.txStart
 			if c.pers.TxEnd(c.id, id, func() {
 				c.commitWait = false
@@ -508,6 +610,11 @@ func (c *Core) Idle() bool {
 	if c.Finished() {
 		return true
 	}
+	if c.aborting {
+		// The backoff wake is a scheduled event; until it fires, Tick
+		// only accrues abort-stall cycles.
+		return true
+	}
 	if c.commitWait {
 		return true
 	}
@@ -540,6 +647,9 @@ func (c *Core) SkipCycles(n uint64) {
 	}
 	bd := &c.stats.Breakdown
 	switch {
+	case c.aborting:
+		c.stats.StallAbort += n
+		bd.AbortStall += n
 	case c.commitWait:
 		c.stats.StallCommit += n
 		bd.CommitWait += n

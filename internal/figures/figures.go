@@ -245,6 +245,74 @@ func ChannelSweep(bench workload.Benchmark, mechs []pmemaccel.Kind, counts []int
 	return s, nil
 }
 
+// ContentionSweep runs the contended benchmark (workload.BankShared)
+// across machine widths and contention levels for every mechanism — the
+// many-core companion to the paper's four-core, core-private figures. It
+// returns three row-aligned series (rows "<cores>c/<pct>%"): absolute
+// IPC, IPC as a share of the same row's Optimal (the acceptance metric:
+// how much of the side-path TC's 98.5%-of-Optimal headline survives
+// cross-core collisions), and the abort rate (aborted attempts per
+// attempt). Cells run on up to workers goroutines; results are identical
+// for every worker count.
+func ContentionSweep(cores []int, contentions []float64, mechs []pmemaccel.Kind,
+	configure func(workload.Benchmark, pmemaccel.Kind) pmemaccel.Config,
+	progress func(string, *pmemaccel.Result),
+	workers int) (ipc, ipcShare, abortRate *stats.Series, err error) {
+
+	type cell struct {
+		row string
+		m   pmemaccel.Kind
+		cfg pmemaccel.Config
+	}
+	var cells []cell
+	var rows, cols []string
+	for _, n := range cores {
+		for _, pct := range contentions {
+			row := fmt.Sprintf("%dc/%.0f%%", n, pct*100)
+			rows = append(rows, row)
+			for _, m := range mechs {
+				cfg := configure(workload.BankShared, m)
+				cfg.Cores = n
+				cfg.ContentionPct = pct
+				cells = append(cells, cell{row, m, cfg})
+			}
+		}
+	}
+	for _, m := range mechs {
+		cols = append(cols, m.String())
+	}
+	results, err := sweep.Run(len(cells), workers,
+		func(i int) (*pmemaccel.Result, error) {
+			c := cells[i]
+			res, err := pmemaccel.Run(c.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("figures: contention %s/%v: %w", c.row, c.m, err)
+			}
+			if res.DurableDiffCount > 0 {
+				return nil, fmt.Errorf("figures: contention %s/%v left NVM inconsistent (%d diffs)",
+					c.row, c.m, res.DurableDiffCount)
+			}
+			return res, nil
+		},
+		func(i int, res *pmemaccel.Result) {
+			if progress != nil {
+				progress(cells[i].row, res)
+			}
+		})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ipc = stats.NewSeries("Contention sweep: IPC (bankshared)", rows, cols)
+	abortRate = stats.NewSeries("Contention sweep: abort rate (%)", rows, cols)
+	for i, c := range cells {
+		ipc.Set(c.row, c.m.String(), results[i].IPC())
+		abortRate.Set(c.row, c.m.String(), results[i].AbortRate()*100)
+	}
+	ipcShare = ipc.Normalized(pmemaccel.Optimal.String())
+	ipcShare.Name = "Contention sweep: IPC share of Optimal"
+	return ipc, ipcShare, abortRate, nil
+}
+
 // MetricsTable renders the full run-wide metrics snapshot of every grid
 // cell that carried one (runs configured with Obs.Metrics): counters,
 // gauges, and each histogram's count/mean/p50/p90/p99/max row. Cells

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -288,5 +289,98 @@ func TestMetricsTableAndPercentileSeries(t *testing.T) {
 	}
 	if v := plain.TxLatencyP99().Get("sps", "tcache"); v != 0 {
 		t.Errorf("metrics-free grid p99 = %v, want 0", v)
+	}
+}
+
+// TestContentionSweepDeterministicAndConsistent runs a tiny contention
+// sweep twice (-j 1 and -j 4) and pins: byte-identical renderings across
+// worker counts, an Optimal share column of exactly 1, zero aborts on
+// the degenerate single-core row, and real aborts on the contended
+// multi-core row.
+func TestContentionSweepDeterministicAndConsistent(t *testing.T) {
+	configure := func(b workload.Benchmark, m pmemaccel.Kind) pmemaccel.Config {
+		cfg := pmemaccel.DefaultConfig(b, m)
+		cfg.Scale = 256
+		cfg.InitialSize = 300
+		cfg.Ops = 80
+		return cfg
+	}
+	mechs := []pmemaccel.Kind{pmemaccel.TCache, pmemaccel.Optimal}
+	cores := []int{1, 4}
+	pcts := []float64{0.9}
+	seqIPC, seqShare, seqAbort, err := ContentionSweep(cores, pcts, mechs, configure, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parIPC, parShare, parAbort, err := ContentionSweep(cores, pcts, mechs, configure, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pair := range [][2]string{
+		{seqIPC.CSV(), parIPC.CSV()},
+		{seqShare.CSV(), parShare.CSV()},
+		{seqAbort.CSV(), parAbort.CSV()},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("sweep series %d differs across worker counts:\n-j1:\n%s\n-j4:\n%s", i, pair[0], pair[1])
+		}
+	}
+	for _, row := range []string{"1c/90%", "4c/90%"} {
+		if v := seqIPC.Get(row, "tcache"); v <= 0 {
+			t.Errorf("%s tcache IPC = %v, want positive", row, v)
+		}
+		if v := seqShare.Get(row, "optimal"); v != 1.0 {
+			t.Errorf("%s optimal share = %v, want exactly 1", row, v)
+		}
+	}
+	if v := seqAbort.Get("1c/90%", "tcache"); v != 0 {
+		t.Errorf("single-core abort rate = %v%%, want 0 (no cross-core conflicts possible)", v)
+	}
+	if v := seqAbort.Get("4c/90%", "tcache"); v <= 0 {
+		t.Errorf("4-core 90%%-contention abort rate = %v%%, want positive", v)
+	}
+}
+
+// TestRenderingAcrossCoreWidths pins the figures rendering paths that
+// used to assume the paper's fixed 4-core machine: the stall table,
+// summary, and per-transaction stage breakdown must render (and stay
+// internally sized) at every supported width, 1 through 64.
+func TestRenderingAcrossCoreWidths(t *testing.T) {
+	for _, n := range []int{1, 4, 16, 64} {
+		n := n
+		t.Run(fmt.Sprintf("%dcores", n), func(t *testing.T) {
+			t.Parallel()
+			configure := func(b workload.Benchmark, m pmemaccel.Kind) pmemaccel.Config {
+				cfg := pmemaccel.DefaultConfig(b, m)
+				cfg.Cores = n
+				cfg.Scale = 256
+				cfg.InitialSize = 200
+				cfg.Ops = 60
+				cfg.Obs.Enabled = true
+				cfg.Obs.TxSample = 1
+				return cfg
+			}
+			g, err := Run([]workload.Benchmark{workload.Bank},
+				[]pmemaccel.Kind{pmemaccel.TCache}, configure, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := g.Results[workload.Bank][pmemaccel.TCache]
+			if len(r.PerCore) != n {
+				t.Fatalf("result has %d cores, want %d", len(r.PerCore), n)
+			}
+			if !strings.Contains(g.StallTable(), "bank") {
+				t.Error("stall table failed to render")
+			}
+			if !strings.Contains(g.Summary(), "tcache") {
+				t.Error("summary failed to render")
+			}
+			sb := g.StageBreakdown()
+			for _, want := range []string{"bank/tcache", "execute"} {
+				if !strings.Contains(sb, want) {
+					t.Errorf("stage breakdown at %d cores missing %q:\n%s", n, want, sb)
+				}
+			}
+		})
 	}
 }

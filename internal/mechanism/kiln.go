@@ -24,6 +24,7 @@ type kiln struct {
 	env   *Env
 	hier  *cache.Hierarchy
 	nvllc *memimage.Image
+	g     *conflictGuard
 
 	committed []uint64
 
@@ -60,6 +61,7 @@ const kilnShadowBit = uint64(1) << 62
 func newKiln(env *Env) Mechanism {
 	return &kiln{
 		env: env, nvllc: memimage.New(),
+		g:         newConflictGuard(env),
 		committed: make([]uint64, env.Cores),
 		retained:  make(map[uint64]retainedVersion),
 	}
@@ -140,8 +142,18 @@ func (m *kiln) tag(core int, txID uint64) uint64 {
 }
 
 // Store tags the line with its owning transaction so the hierarchy can
-// pin and flush it.
+// pin and flush it. Shared lines pass the ownership probe first; on an
+// abort nothing needs unwinding mechanism-side — the replayed attempt
+// re-tags the same lines with the same transaction id, and only the
+// eventual commit flush makes them durable.
 func (m *kiln) Store(core int, txID uint64, addr, value uint64) cpu.StoreAction {
+	switch m.g.check(core, txID, addr) {
+	case gdRetry:
+		return cpu.StoreAction{Retry: true}
+	case gdAbort:
+		return cpu.StoreAction{Abort: true}
+	}
+	m.g.noteWrite(core, addr)
 	return cpu.StoreAction{TxTag: m.tag(core, txID), Uncommitted: true}
 }
 
@@ -151,7 +163,13 @@ func (m *kiln) Store(core int, txID uint64, addr, value uint64) cpu.StoreAction 
 func (m *kiln) TxEnd(core int, txID uint64, resume func()) bool {
 	tag := m.tag(core, txID)
 	done := func() {
+		// Flush completion is Kiln's durability instant: the
+		// transaction's lines are in the nonvolatile LLC. Record the
+		// global commit order and release shared-line ownership here —
+		// done runs in a coordinator context (flush completion event).
 		m.committed[core]++
+		m.env.noteDurableCommit(core)
+		m.g.releaseTxNow(core)
 		resume()
 	}
 	// TxEnd runs on the core's worker under the parallel kernel; the

@@ -151,6 +151,42 @@ type Env struct {
 	// off. Mechanisms that build TCs hand it down so drain writes carry
 	// flight checkpoints; the fall-back path marks sampled flights.
 	Flight *txflight.Recorder
+	// Arb is the shared-line ownership arbiter, non-nil only when the
+	// workload has a cross-core shared region. Mechanisms with a
+	// conflict window (in-transaction stores that must not interleave
+	// with another core's on the same line) arbitrate through it; SP
+	// ignores it — redo logging has no conflict window in this trace
+	// model, because in-place stores happen after commit and recovery
+	// replays logs in global commit order.
+	Arb *txcache.LineArbiter
+	// Commits is the global durable-commit log, non-nil only when the
+	// workload has a shared region. Every mechanism appends each
+	// transaction at the instant it becomes durably committed; the
+	// system folds committed write sets in this order to build the
+	// expected durable image (the serialization oracle).
+	Commits *CommitLog
+}
+
+// CommitLog records the global order in which transactions became
+// durably committed, as (core) entries — each core's transactions commit
+// in program order, so the core index alone identifies the transaction.
+// Appends happen only in coordinator contexts (events, journal replay,
+// serial ticks), which makes the order identical between the serial and
+// parallel kernels.
+type CommitLog struct {
+	Order []int
+}
+
+// Append records that core's next transaction just became durable.
+func (l *CommitLog) Append(core int) { l.Order = append(l.Order, core) }
+
+// noteDurableCommit appends to the global commit log if one is wired.
+// Call only from coordinator contexts; callers in worker contexts must
+// route through their Ctx's guarded-defer path.
+func (env *Env) noteDurableCommit(core int) {
+	if env.Commits != nil {
+		env.Commits.Append(core)
+	}
 }
 
 // Mechanism is the strategy interface.

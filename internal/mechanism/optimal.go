@@ -14,10 +14,11 @@ import (
 type optimal struct {
 	env       *Env
 	committed []uint64
+	g         *conflictGuard
 }
 
 func newOptimal(env *Env) Mechanism {
-	return &optimal{env: env, committed: make([]uint64, env.Cores)}
+	return &optimal{env: env, committed: make([]uint64, env.Cores), g: newConflictGuard(env)}
 }
 
 func (m *optimal) Kind() Kind { return Optimal }
@@ -37,10 +38,35 @@ func (m *optimal) TxBegin(core int, txID uint64) {}
 func (m *optimal) TxEnd(core int, txID uint64, resume func()) bool {
 	// "Commit" is only an instruction boundary: nothing becomes durable.
 	m.committed[core]++
+	if m.g != nil || m.env.Commits != nil {
+		// The "durable" instant for Optimal's oracle bookkeeping is the
+		// commit marker itself; ownership releases with it. Both are
+		// coordinator-side state, so route through the guarded defer.
+		fn := func() {
+			m.env.noteDurableCommit(core)
+			m.g.releaseTxNow(core)
+		}
+		if x := m.env.Ctxs[core]; x.Deferring() {
+			x.Defer(fn)
+		} else {
+			fn()
+		}
+	}
 	return false
 }
 
 func (m *optimal) Store(core int, txID uint64, addr, value uint64) cpu.StoreAction {
+	// Optimal offers no persistence, but it arbitrates shared lines like
+	// the hardware mechanisms do: the IPC-vs-Optimal comparison under
+	// contention is apples-to-apples only if the conflict window costs
+	// every mechanism the same aborts.
+	switch m.g.check(core, txID, addr) {
+	case gdRetry:
+		return cpu.StoreAction{Retry: true}
+	case gdAbort:
+		return cpu.StoreAction{Abort: true}
+	}
+	m.g.noteWrite(core, addr)
 	return cpu.StoreAction{}
 }
 

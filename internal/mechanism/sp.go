@@ -48,7 +48,10 @@ const spLogCost = 2
 const spCommitMagic = ^uint64(0) - 0xC0331731
 
 func newSP(env *Env) Mechanism {
-	logs := memaddr.Partition(memaddr.NVMLogBase, 1<<36, env.Cores)
+	logs := make([]memaddr.Range, env.Cores)
+	for c := range logs {
+		logs[c] = memaddr.PerCoreLog(c)
+	}
 	cursor := make([]uint64, env.Cores)
 	for c, r := range logs {
 		cursor[c] = r.Base
@@ -147,6 +150,19 @@ func (m *sp) TxBegin(core int, txID uint64) {}
 // drains.
 func (m *sp) TxEnd(core int, txID uint64, resume func()) bool {
 	m.committed[core]++
+	if m.env.Commits != nil {
+		// SP does not arbitrate (in-place stores are deferred past the
+		// commit record, so there is no conflict window), but it still
+		// reports its commit order: shared-mode recovery replays the
+		// logs globally in this order, which overrides whatever order
+		// the deferred in-place stores later reach NVM in.
+		x := m.env.Ctxs[core]
+		if x.Deferring() {
+			x.Defer(func() { m.env.noteDurableCommit(core) })
+		} else {
+			m.env.noteDurableCommit(core)
+		}
+	}
 	if m.env.Mem.PendingNVMWrites() == 0 {
 		return false
 	}
@@ -223,6 +239,9 @@ func (m *sp) RecoveryCost() RecoveryCost {
 // hole (a zero address — nothing durable beyond it can be committed,
 // because the pre-commit sfence orders every entry before its record).
 func (m *sp) Recover(durable *memimage.Image) *memimage.Image {
+	if m.env.Commits != nil {
+		return m.recoverGlobal(durable)
+	}
 	out := durable.Snapshot()
 	for core := 0; core < m.env.Cores; core++ {
 		var pending []trace.Write
@@ -241,6 +260,44 @@ func (m *sp) Recover(durable *memimage.Image) *memimage.Image {
 				pending = append(pending, trace.Write{Addr: a, Value: v})
 			}
 		}
+	}
+	return out
+}
+
+// recoverGlobal replays the per-core logs interleaved in global durable
+// commit order — the shared-mode serialization discipline. Per core the
+// log is in program order, so a cursor per core plus the commit log's
+// core sequence reconstructs exactly the order the transactions became
+// durable in, regardless of the order their deferred in-place stores
+// later reached NVM.
+func (m *sp) recoverGlobal(durable *memimage.Image) *memimage.Image {
+	out := durable.Snapshot()
+	pos := make([]uint64, m.env.Cores)
+	for c := range pos {
+		pos[c] = m.logs[c].Base
+	}
+	for _, core := range m.env.Commits.Order {
+		var pending []trace.Write
+		p := pos[core]
+		for p < m.logs[core].End() {
+			a := durable.ReadWord(p)
+			v := durable.ReadWord(p + 8)
+			p += 16
+			if a == 0 {
+				// Hole before the next commit record: nothing durable
+				// beyond it, stop replaying this core.
+				p = m.logs[core].End()
+				break
+			}
+			if a == spCommitMagic {
+				for _, w := range pending {
+					out.WriteWord(w.Addr, w.Value)
+				}
+				break
+			}
+			pending = append(pending, trace.Write{Addr: a, Value: v})
+		}
+		pos[core] = p
 	}
 	return out
 }

@@ -27,6 +27,7 @@ type tcMech struct {
 	env  *Env
 	tcs  []*txcache.TxCache
 	hier *cache.Hierarchy
+	g    *conflictGuard
 
 	committed []uint64
 
@@ -59,12 +60,14 @@ func newTCache(env *Env) Mechanism {
 		fbPending:     make([][]trace.Write, env.Cores),
 		fbOutstanding: make([]int, env.Cores),
 		fbCommit:      make([]func(), env.Cores),
-		shadow:        memaddr.Partition(memaddr.NVMLogBase, 1<<36, env.Cores),
+		shadow:        make([]memaddr.Range, env.Cores),
 		shadowCursor:  make([]uint64, env.Cores),
 		fallbackTxs:   make([]uint64, env.Cores),
 		cFallback:     env.Metrics.Counter("tc_fallback_txs"),
 	}
+	m.g = newConflictGuard(env)
 	for c := range m.shadowCursor {
+		m.shadow[c] = memaddr.PerCoreLog(c)
 		m.shadowCursor[c] = m.shadow[c].Base
 	}
 	durableApply := func(addr, value uint64) { env.Durable.WriteWord(addr, value) }
@@ -79,6 +82,13 @@ func newTCache(env *Env) Mechanism {
 			env.Metrics.Histogram("tc_drain_burst_entries"),
 			env.Metrics.Histogram("tc_drain_burst_cycles"),
 		)
+		if m.g != nil {
+			// Shared-line ownership releases when the owning
+			// transaction's last committed write drains out of the TC;
+			// acks fire in coordinator contexts.
+			core := c
+			tc.SetAckHook(func(addr uint64) { m.g.onAck(core, addr) })
+		}
 		m.tcs = append(m.tcs, tc)
 	}
 	return m
@@ -134,12 +144,30 @@ func (m *tcMech) TxBegin(core int, txID uint64) {}
 // path. A full TC stalls the core; at the high-water mark the store takes
 // the copy-on-write fall-back.
 func (m *tcMech) Store(core int, txID uint64, addr, value uint64) cpu.StoreAction {
+	// Shared lines pass the ownership probe before entering either
+	// durability path. On a lost arbitration the transaction's TC
+	// entries are discarded (they are Active, never drained) and any
+	// fall-back state is dropped; in-flight shadow log writes are
+	// harmless — nothing applies them without a commit record.
+	switch m.g.check(core, txID, addr) {
+	case gdRetry:
+		return cpu.StoreAction{Retry: true}
+	case gdAbort:
+		m.tcs[core].EvictTx(txID)
+		if m.fbActive[core] && m.fbTx[core] == txID {
+			m.fbActive[core] = false
+			m.fbPending[core] = nil
+		}
+		return cpu.StoreAction{Abort: true}
+	}
 	if m.fbActive[core] && m.fbTx[core] == txID {
 		m.fallbackWrite(core, addr, value)
+		m.g.noteWrite(core, addr)
 		return cpu.StoreAction{}
 	}
 	switch m.tcs[core].Write(txID, addr, value) {
 	case txcache.Accepted:
+		m.g.noteWrite(core, addr)
 		return cpu.StoreAction{}
 	case txcache.Fallback:
 		m.fbActive[core] = true
@@ -159,10 +187,13 @@ func (m *tcMech) Store(core int, txID uint64, addr, value uint64) cpu.StoreActio
 		// TC-resident entries are evicted into the shadow first (in
 		// program order), so no word of this transaction has updates
 		// split across the two durability paths.
+		// The evicted entries were noted at their original accept; only
+		// the triggering store is new.
 		for _, e := range m.tcs[core].EvictTx(txID) {
 			m.fallbackWrite(core, e.Addr, e.Value)
 		}
 		m.fallbackWrite(core, addr, value)
+		m.g.noteWrite(core, addr)
 		return cpu.StoreAction{}
 	default: // Full
 		return cpu.StoreAction{Retry: true}
@@ -221,6 +252,12 @@ func (m *tcMech) TxEnd(core int, txID uint64, resume func()) bool {
 				}
 				m.tcs[core].Commit(txID)
 				m.committed[core]++
+				// Commit-record durability is the overflowed
+				// transaction's durable instant: its shadow writes just
+				// applied, so shared-line ownership releases here (apply
+				// runs at memory durability time — coordinator context).
+				m.env.noteDurableCommit(core)
+				m.g.releaseTxNow(core)
 			}
 			// The commit can fire synchronously from TxEnd (everything
 			// already durable and drained), which under the parallel
@@ -240,6 +277,24 @@ func (m *tcMech) TxEnd(core int, txID uint64, resume func()) bool {
 	}
 	m.tcs[core].Commit(txID)
 	m.committed[core]++
+	if m.g != nil || m.env.Commits != nil {
+		// The commit request to the nonvolatile TC is instantly durable,
+		// so TX_END is the durable instant. Ownership of the
+		// transaction's shared lines transfers to the drain-pending set
+		// and releases as the acks arrive; both the commit log and the
+		// pending transfer are coordinator-side, so route through the
+		// guarded defer. Acks cannot beat the deferred transfer: the
+		// earliest drain completion is a memory event in a later cycle.
+		fn := func() {
+			m.env.noteDurableCommit(core)
+			m.g.commitPending(core)
+		}
+		if x := m.env.Ctxs[core]; x.Deferring() {
+			x.Defer(fn)
+		} else {
+			fn()
+		}
+	}
 	return false
 }
 

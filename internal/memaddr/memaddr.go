@@ -119,6 +119,65 @@ func Partition(base, size uint64, n int) []Range {
 	return out
 }
 
+// Per-core carving sizes. Unlike Partition, which divides a fixed region
+// by the core count (so every core's base moves when the machine width
+// changes), these carve a fixed-size slice per core at a fixed offset:
+// core c's addresses are identical whether the machine has 1, 4, 16 or
+// 64 cores. The sizes equal the historical 4-core Partition slices
+// (NVM 2^32/4, DRAM 2^30/4, log 2^36/4), so 4-core layouts — the
+// paper's machine — are byte-for-byte unchanged.
+const (
+	// MaxCores bounds the machine width: 64 cores of PerCoreNVMSize
+	// exactly fill [NVMBase, SharedNVMBase).
+	MaxCores = 64
+	// PerCoreNVMSize is each core's private persistent-data carving.
+	PerCoreNVMSize uint64 = 1 << 30
+	// PerCoreDRAMSize is each core's private volatile carving.
+	PerCoreDRAMSize uint64 = 1 << 28
+	// PerCoreLogSize is each core's write-ahead-log / overflow carving.
+	PerCoreLogSize uint64 = 1 << 34
+	// SharedNVMBase starts the cross-core shared persistent region,
+	// immediately after the 64 private NVM carvings.
+	SharedNVMBase = NVMBase + uint64(MaxCores)*PerCoreNVMSize
+	// SharedNVMSize bounds the shared persistent region.
+	SharedNVMSize uint64 = 1 << 30
+)
+
+// SharedNVM is the persistent region addressable by every core: the home
+// of contended data structures (workload.BankShared). It classifies as
+// SpaceNVM like the private carvings; only the conflict-arbitration layer
+// treats it specially.
+var SharedNVM = Range{Base: SharedNVMBase, Size: SharedNVMSize}
+
+// IsShared reports whether addr falls in the cross-core shared
+// persistent region.
+func IsShared(addr uint64) bool { return SharedNVM.Contains(addr) }
+
+// PerCoreNVM returns core c's private persistent-data range. The result
+// depends only on c, never on the machine's core count.
+func PerCoreNVM(c int) Range {
+	checkCore(c)
+	return Range{Base: NVMBase + uint64(c)*PerCoreNVMSize, Size: PerCoreNVMSize}
+}
+
+// PerCoreDRAM returns core c's private volatile range.
+func PerCoreDRAM(c int) Range {
+	checkCore(c)
+	return Range{Base: DRAMBase + uint64(c)*PerCoreDRAMSize, Size: PerCoreDRAMSize}
+}
+
+// PerCoreLog returns core c's private log/overflow range.
+func PerCoreLog(c int) Range {
+	checkCore(c)
+	return Range{Base: NVMLogBase + uint64(c)*PerCoreLogSize, Size: PerCoreLogSize}
+}
+
+func checkCore(c int) {
+	if c < 0 || c >= MaxCores {
+		panic(fmt.Sprintf("memaddr: core %d outside [0, %d)", c, MaxCores))
+	}
+}
+
 // Range is a half-open address interval [Base, Base+Size).
 type Range struct {
 	Base uint64

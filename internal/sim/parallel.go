@@ -160,6 +160,16 @@ type parallel struct {
 	// cycle, so maybeSkip may reuse the verdict instead of re-polling.
 	allIdleLast bool
 
+	// waveHist counts wave widths on stepped cycles: waveHist[w] is how
+	// many waves had exactly w busy (non-elided) members. Width 0 means
+	// the whole wave was elided. waveInline/waveDispatched split the
+	// nonzero-width waves by execution path (below/at the dispatch
+	// threshold). Diagnostic only — deliberately NOT part of Result, so
+	// serial-vs-parallel result equivalence stays byte-exact.
+	waveHist       []uint64
+	waveInline     uint64
+	waveDispatched uint64
+
 	tasks chan func()
 	wg    sync.WaitGroup
 }
@@ -205,6 +215,29 @@ func (k *Kernel) Bind(x *Ctx, ts ...Tickable) {
 	for _, t := range ts {
 		k.par.binds = append(k.par.binds, bind{x: x, t: t})
 	}
+}
+
+// WaveWidthHist returns the parallel kernel's wave-width histogram:
+// index w holds the number of stepped-cycle waves that had exactly w
+// busy members (0 = fully elided wave). Nil in serial mode. Kernel-level
+// diagnostic, intentionally not part of any Result.
+func (k *Kernel) WaveWidthHist() []uint64 {
+	if k.par == nil {
+		return nil
+	}
+	out := make([]uint64, len(k.par.waveHist))
+	copy(out, k.par.waveHist)
+	return out
+}
+
+// WaveDispatchStats reports how many nonzero-width waves ran inline on
+// the coordinator versus dispatched to the worker pool. Zeros in serial
+// mode.
+func (k *Kernel) WaveDispatchStats() (inline, dispatched uint64) {
+	if k.par == nil {
+		return 0, 0
+	}
+	return k.par.waveInline, k.par.waveDispatched
 }
 
 // StopWorkers shuts down the worker pool (no-op in serial mode or when
@@ -363,11 +396,16 @@ func (k *Kernel) stepPar() {
 				busy = append(busy, j)
 			}
 		}
+		for len(p.waveHist) <= len(busy) {
+			p.waveHist = append(p.waveHist, 0)
+		}
+		p.waveHist[len(busy)]++
 		if len(busy) == 0 {
 			continue
 		}
 		anyBusy = true
 		if len(busy) < p.minDispatch {
+			p.waveInline++
 			// Inline: registration order on the coordinator is the
 			// serial sweep itself, so no journaling is needed and the
 			// guarded Defer pattern takes its direct branch.
@@ -375,6 +413,7 @@ func (k *Kernel) stepPar() {
 				k.tickables[j].t.Tick(k.now)
 			}
 		} else {
+			p.waveDispatched++
 			p.startWorkers()
 			p.wg.Add(len(busy))
 			for _, j := range busy {

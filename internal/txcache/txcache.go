@@ -181,6 +181,12 @@ type TxCache struct {
 	// durableApply writes one word into the durable NVM image; the
 	// system provides it so the TC stays image-agnostic.
 	durableApply func(addr, value uint64)
+	// onAck, when set, observes every drain acknowledgment (word
+	// address) after the entry clears — the conflict layer's release
+	// point for shared-line ownership. Acks fire in coordinator
+	// contexts (memory-completion events), so the hook may touch
+	// coordinator-owned state directly.
+	onAck func(addr uint64)
 
 	entries []Entry
 	head    int // next insert slot
@@ -232,6 +238,10 @@ func New(k *sim.Ctx, cfg Config, mem Port, durableApply func(addr, value uint64)
 	k.Register(tc)
 	return tc
 }
+
+// SetAckHook installs fn to observe every drain acknowledgment's word
+// address. Wire-up time only (before the run starts).
+func (tc *TxCache) SetAckHook(fn func(addr uint64)) { tc.onAck = fn }
 
 // SetProbe attaches the observability recorder (nil disables probing);
 // core labels this TC's events in the trace. A drain burst still open
@@ -544,6 +554,9 @@ func (tc *TxCache) Ack(addr uint64) {
 			if tc.count == 0 {
 				tc.tail = tc.head
 				tc.issue = tc.head
+			}
+			if tc.onAck != nil {
+				tc.onAck(addr)
 			}
 			return
 		}

@@ -26,6 +26,10 @@ type Meta struct {
 	// ArrayBase/ArrayLen describe the sps array.
 	ArrayBase uint64
 	ArrayLen  int
+	// SharedBase/SharedLen describe the cross-core shared account array
+	// (BankShared). Zero SharedLen means the workload is core-private.
+	SharedBase uint64
+	SharedLen  int
 	// MaxElems bounds traversals (cycle detection). 64-bit because it is
 	// derived from the op count, which reaches billions at paper scale.
 	MaxElems int64
@@ -46,6 +50,8 @@ func CheckImage(b Benchmark, meta Meta, img *memimage.Image) error {
 		return checkBTreeImage(meta, img)
 	case Bank:
 		return checkBankImage(meta, img)
+	case BankShared:
+		return checkBankSharedImage(meta, img)
 	default:
 		return fmt.Errorf("workload: no image checker for %v", b)
 	}

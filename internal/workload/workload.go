@@ -40,6 +40,12 @@ const (
 	// transfers across a balance array plus an append-only audit list,
 	// with a money-conservation invariant.
 	Bank
+	// BankShared is the contended variant of Bank: every core keeps its
+	// private balance array and audit trail, but a configurable fraction
+	// of transactions also update accounts in a shared array that all
+	// cores address (memaddr.SharedNVM), so cross-core transactions
+	// genuinely collide on cache lines.
+	BankShared
 )
 
 // All lists the paper's Table 3 benchmarks in presentation order.
@@ -47,7 +53,7 @@ var All = []Benchmark{Graph, RBTree, SPS, BTree, Hashtable}
 
 // Extended lists every available benchmark, including the extensions
 // beyond the paper's suite.
-var Extended = []Benchmark{Graph, RBTree, SPS, BTree, Hashtable, Bank}
+var Extended = []Benchmark{Graph, RBTree, SPS, BTree, Hashtable, Bank, BankShared}
 
 // String returns the benchmark's name as used in the paper's figures.
 func (b Benchmark) String() string {
@@ -64,6 +70,8 @@ func (b Benchmark) String() string {
 		return "hashtable"
 	case Bank:
 		return "bank"
+	case BankShared:
+		return "bankshared"
 	default:
 		return fmt.Sprintf("benchmark(%d)", int(b))
 	}
@@ -84,6 +92,8 @@ func (b Benchmark) Description() string {
 		return "Search/Insert a key-value pair in a hashtable."
 	case Bank:
 		return "Transfer between accounts with an audit trail (extension)."
+	case BankShared:
+		return "Bank with cross-core transfers into a shared account array (extension)."
 	default:
 		return "unknown"
 	}
@@ -134,7 +144,7 @@ func BytesPerElement(b Benchmark) int {
 		return htNodeWords*8 + 4 // node plus amortized half-bucket
 	case Graph:
 		return 8 + graphEdgeWords*8 // head pointer plus one edge
-	case Bank:
+	case Bank, BankShared:
 		return 8 + bankAuditWords*8 // balance word plus ~one audit record
 	default:
 		return 8
@@ -155,6 +165,10 @@ func SizeForFootprint(b Benchmark, bytes int) int {
 type Params struct {
 	// Seed drives all randomness for this core's stream.
 	Seed uint64
+	// Core is this stream's core index; BankShared tags its shared-array
+	// store values with it so the durable image attributes every word to
+	// a writer.
+	Core int
 	// InitialSize is the number of elements prepopulated (untraced)
 	// before the measured window: array length for sps, vertex count
 	// for graph, element count for the index structures.
@@ -170,23 +184,54 @@ type Params struct {
 	// address carvings.
 	PersistentRegion memaddr.Range
 	VolatileRegion   memaddr.Range
+	// SharedAccounts sizes the cross-core shared balance array
+	// (BankShared only; 0 selects DefaultSharedAccounts). The array
+	// lives at memaddr.SharedNVM.Base on every core.
+	SharedAccounts int
+	// ContentionPct is the fraction of BankShared transactions
+	// (0..1) that transfer between shared accounts instead of the
+	// core's private ones.
+	ContentionPct float64
 }
 
+// DefaultSharedAccounts is the shared-array length used when
+// Params.SharedAccounts is zero. Small on purpose: 64 accounts across
+// up to 64 cores makes line collisions routine rather than incidental.
+const DefaultSharedAccounts = 64
+
+// DefaultContentionPct is the shared-transfer fraction used when
+// Params.ContentionPct is zero on a BankShared workload.
+const DefaultContentionPct = 0.5
+
 // DefaultParams returns a parameter set sized for the given benchmark,
-// using per-core region partitions for core (of nCores).
+// using fixed per-core region carvings for core.
+//
+// Seed derivation: core c's stream seed is seed*1000003 + c — a fixed
+// function of (seed, core) only. Together with the fixed-offset address
+// carvings (memaddr.PerCoreNVM/PerCoreDRAM, which never divide by the
+// machine width), this makes core c's generated record stream invariant
+// under the core count: the trace core 2 replays on a 4-core machine is
+// byte-identical to the one it replays on a 16- or 64-core machine.
+// nCores is retained for interface stability and bounds-checking only.
 func DefaultParams(b Benchmark, core, nCores int, seed uint64, initialSize, ops int) Params {
-	pparts := memaddr.Partition(memaddr.NVMBase, 1<<32, nCores)
-	vparts := memaddr.Partition(memaddr.DRAMBase, 1<<30, nCores)
+	if core < 0 || core >= nCores {
+		panic(fmt.Sprintf("workload: core %d outside [0, %d)", core, nCores))
+	}
 	p := Params{
 		Seed:             seed*1000003 + uint64(core),
+		Core:             core,
 		InitialSize:      initialSize,
 		Ops:              ops,
-		PersistentRegion: pparts[core],
-		VolatileRegion:   vparts[core],
+		PersistentRegion: memaddr.PerCoreNVM(core),
+		VolatileRegion:   memaddr.PerCoreDRAM(core),
 	}
 	switch b {
-	case RBTree, BTree, Hashtable, Bank:
+	case RBTree, BTree, Hashtable, Bank, BankShared:
 		p.SearchesPerOp = 1
+	}
+	if b == BankShared {
+		p.SharedAccounts = DefaultSharedAccounts
+		p.ContentionPct = DefaultContentionPct
 	}
 	return p
 }
@@ -293,6 +338,8 @@ func build(b Benchmark, p Params) (*generation, error) {
 		impl = newHashtable(rec, hp, rng)
 	case Bank:
 		impl = newBank(rec, hp, rng)
+	case BankShared:
+		impl = newBankShared(rec, hp, rng, p)
 	default:
 		return nil, fmt.Errorf("workload: unknown benchmark %d", int(b))
 	}

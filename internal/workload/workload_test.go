@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 
 	"pmemaccel/internal/memaddr"
@@ -312,5 +313,37 @@ func TestCheckImageDetectsCorruption(t *testing.T) {
 	imgS.WriteWord(outS.Meta.ArrayBase, 0) // 0 is outside 1..n
 	if err := CheckImage(SPS, outS.Meta, imgS); err == nil {
 		t.Fatal("sps corruption not detected")
+	}
+}
+
+// TestPerCoreStreamStableAcrossWidths pins the seed and carving
+// derivation documented on DefaultParams: core c's parameter set — and
+// therefore its generated record stream — is a function of (seed, core)
+// only, never of the machine width. Growing a 4-core run to 16 or 64
+// cores must not perturb the traces of the cores they share.
+func TestPerCoreStreamStableAcrossWidths(t *testing.T) {
+	for _, b := range []Benchmark{BankShared, RBTree} {
+		for _, core := range []int{0, 2, 3} {
+			p4 := DefaultParams(b, core, 4, 7, 50, 40)
+			for _, n := range []int{16, 64} {
+				pn := DefaultParams(b, core, n, 7, 50, 40)
+				if p4 != pn {
+					t.Fatalf("%v core %d: params differ between 4 and %d cores:\n4:  %+v\n%d: %+v",
+						b, core, n, p4, n, pn)
+				}
+			}
+			a, err := Generate(b, p4)
+			if err != nil {
+				t.Fatalf("%v core %d: %v", b, core, err)
+			}
+			bOut, err := Generate(b, DefaultParams(b, core, 64, 7, 50, 40))
+			if err != nil {
+				t.Fatalf("%v core %d (64-wide params): %v", b, core, err)
+			}
+			if !reflect.DeepEqual(a.Trace.Records, bOut.Trace.Records) {
+				t.Fatalf("%v core %d: trace diverges across machine widths (%d vs %d records)",
+					b, core, len(a.Trace.Records), len(bOut.Trace.Records))
+			}
+		}
 	}
 }

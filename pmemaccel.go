@@ -27,6 +27,7 @@ import (
 	"pmemaccel/internal/cache"
 	"pmemaccel/internal/cpu"
 	"pmemaccel/internal/mechanism"
+	"pmemaccel/internal/memaddr"
 	"pmemaccel/internal/memctrl"
 	"pmemaccel/internal/txcache"
 	"pmemaccel/internal/workload"
@@ -35,7 +36,10 @@ import (
 // Config describes one simulation: the machine (Table 2), the benchmark
 // (Table 3) and the persistence mechanism (§5.1).
 type Config struct {
-	// Cores is the core count (Table 2: 4).
+	// Cores is the core count: the machine-width knob. 0 selects
+	// DefaultCores (Table 2: 4); anything up to memaddr.MaxCores (64)
+	// builds a wider machine — per-core address carvings are fixed-size,
+	// so a core's workload stream is identical at every machine width.
 	Cores int
 	// Seed drives every random choice in the run.
 	Seed uint64
@@ -92,6 +96,16 @@ type Config struct {
 	TCBytes int
 	// TCHighWaterFrac triggers the copy-on-write fall-back (0.9).
 	TCHighWaterFrac float64
+
+	// ContentionPct sets the fraction of operations touching the
+	// cross-core shared region for contended benchmarks
+	// (workload.BankShared). 0 selects the workload default (0.5);
+	// ignored by the core-private benchmarks.
+	ContentionPct float64
+	// SharedAccounts sets the contended benchmarks' shared-array length
+	// in words. 0 selects the workload default (64). Smaller arrays mean
+	// hotter lines and more aborts.
+	SharedAccounts int
 
 	// MaxCycles bounds the run (0 = default bound).
 	MaxCycles uint64
@@ -187,7 +201,6 @@ func (c Config) benchmarkFor(core int) workload.Benchmark {
 // steady-state miss and write-back behaviour emerges within the run.
 func DefaultConfig(b workload.Benchmark, m Kind) Config {
 	return Config{
-		Cores:     4,
 		Seed:      1,
 		Benchmark: b,
 		Mechanism: m,
@@ -210,10 +223,14 @@ func PaperConfig(b workload.Benchmark, m Kind) Config {
 // persistent working set occupies.
 const footprintFactor = 2
 
+// DefaultCores is the Table 2 machine width, selected when Config.Cores
+// is zero.
+const DefaultCores = 4
+
 // withDefaults validates and normalizes.
 func (c Config) withDefaults() (Config, error) {
 	if c.Cores == 0 {
-		c.Cores = 4
+		c.Cores = DefaultCores
 	}
 	if c.Scale == 0 {
 		c.Scale = 1
@@ -257,8 +274,17 @@ func (c Config) Validate() error {
 	if c.Cores < 0 {
 		return fmt.Errorf("pmemaccel: Cores = %d, must be positive", c.Cores)
 	}
+	if c.Cores > memaddr.MaxCores {
+		return fmt.Errorf("pmemaccel: Cores = %d exceeds the %d-core address-map limit", c.Cores, memaddr.MaxCores)
+	}
 	if c.Cores == 0 {
-		c.Cores = 4 // zero selects the default; validate what will run
+		c.Cores = DefaultCores // zero selects the default; validate what will run
+	}
+	if c.ContentionPct < 0 || c.ContentionPct > 1 {
+		return fmt.Errorf("pmemaccel: ContentionPct %g must be in [0, 1] (0 selects the workload default)", c.ContentionPct)
+	}
+	if c.SharedAccounts < 0 {
+		return fmt.Errorf("pmemaccel: SharedAccounts %d must be non-negative (0 selects the workload default)", c.SharedAccounts)
 	}
 	if c.Ops < 0 || c.InitialSize < 0 {
 		return fmt.Errorf("pmemaccel: Ops %d and InitialSize %d must be non-negative", c.Ops, c.InitialSize)
@@ -301,6 +327,25 @@ func (c Config) Validate() error {
 	}
 	if c.ParWorkers > 0 && c.Obs.Metrics {
 		return fmt.Errorf("pmemaccel: ParWorkers %d is incompatible with Obs.Metrics: cores stream into shared histograms inline on workers (the event trace and flight recorder journal their records and compose fine)", c.ParWorkers)
+	}
+	return nil
+}
+
+// ValidateCLICores is the command-line tools' stricter core-count check:
+// beyond the library's range validation it requires a power of two, so
+// -cores always composes with the power-of-two channel interleave (and
+// matches the machine widths the figures pin). The library itself
+// accepts any count in [1, memaddr.MaxCores] — unit tests use odd widths
+// deliberately. 0 is allowed (it selects the default).
+func ValidateCLICores(n int) error {
+	if n == 0 {
+		return nil
+	}
+	if n < 0 || n > memaddr.MaxCores {
+		return fmt.Errorf("cores %d must be in [1, %d] (0 selects the default %d)", n, memaddr.MaxCores, DefaultCores)
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("cores %d must be a power of two (channel interleave and figure grids assume it)", n)
 	}
 	return nil
 }

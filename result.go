@@ -43,6 +43,11 @@ type Result struct {
 	// TC holds per-core transaction cache stats (TCache runs only).
 	TC []txcache.Stats
 
+	// Arb holds the machine-wide shared-line arbitration counters. All
+	// zero unless the workload has a cross-core shared region
+	// (workload.BankShared).
+	Arb txcache.ArbStats
+
 	// DurableDiffs is the end-of-run consistency check: recovered NVM
 	// state versus the committed-transaction oracle. Empty for every
 	// mechanism that guarantees persistence; Optimal is exempt from the
@@ -143,6 +148,9 @@ func (s *System) collect(cycles uint64) *Result {
 	if tp, ok := s.Mech.(mechanism.TCIntrospector); ok {
 		r.TC = tp.TCStatsAll()
 	}
+	if s.Arb != nil {
+		r.Arb = s.Arb.Stats()
+	}
 
 	var hist [18]uint64
 	for _, st := range r.PerCore {
@@ -220,6 +228,38 @@ func (r *Result) TotalTransactions() uint64 {
 	return n
 }
 
+// TotalTxAborts sums aborted transaction attempts across cores — each a
+// lost shared-line arbitration that rolled the transaction back to its
+// TX_BEGIN.
+func (r *Result) TotalTxAborts() uint64 {
+	var n uint64
+	for _, s := range r.PerCore {
+		n += s.TxAborts
+	}
+	return n
+}
+
+// TotalWastedInstructions sums instructions executed by transaction
+// attempts that later aborted (they are also counted in Instructions —
+// wasted work is real work).
+func (r *Result) TotalWastedInstructions() uint64 {
+	var n uint64
+	for _, s := range r.PerCore {
+		n += s.WastedInstructions
+	}
+	return n
+}
+
+// AbortRate is aborted attempts per transaction attempt (commits plus
+// aborts); 0 for uncontended runs.
+func (r *Result) AbortRate() float64 {
+	aborts := r.TotalTxAborts()
+	if total := r.TotalTransactions() + aborts; total > 0 {
+		return float64(aborts) / float64(total)
+	}
+	return 0
+}
+
 // IPC is aggregate instructions per cycle (Figure 6's metric).
 func (r *Result) IPC() float64 {
 	if r.Cycles == 0 {
@@ -275,7 +315,7 @@ func (r *Result) StallFraction(get func(cpu.Stats) uint64) float64 {
 func (r *Result) AttributionTable() string {
 	rows := make([]string, 0, len(r.PerCore)+1)
 	vals := make([][]float64, 0, len(r.PerCore)+1)
-	var agg [8]uint64
+	agg := make([]uint64, len(cpu.BreakdownCategories))
 	for c, st := range r.PerCore {
 		rows = append(rows, fmt.Sprintf("core%d", c))
 		vs := st.Breakdown.Values()
@@ -305,6 +345,10 @@ func (r *Result) String() string {
 	fmt.Fprintf(&b, "%s/%s: %d cycles, IPC %.3f, %.3f tx/kcycle, LLC miss %.2f%%, NVM writes %d, pload %.1f cy",
 		r.Config.Benchmark, r.Config.Mechanism, r.Cycles, r.IPC(), r.Throughput(),
 		r.LLCMissRate*100, r.NVMWriteTraffic(), r.AvgPersistentLoadLatency())
+	if aborts := r.TotalTxAborts(); aborts > 0 {
+		fmt.Fprintf(&b, ", %d aborts (%.1f%%), %d wasted instr, %d line conflicts",
+			aborts, r.AbortRate()*100, r.TotalWastedInstructions(), r.Arb.Conflicts)
+	}
 	if r.DurableDiffCount > 0 {
 		fmt.Fprintf(&b, " [INCONSISTENT: %d diffs]", r.DurableDiffCount)
 	}

@@ -14,6 +14,7 @@ import (
 	"pmemaccel/internal/obs/txflight"
 	"pmemaccel/internal/sim"
 	"pmemaccel/internal/trace"
+	"pmemaccel/internal/txcache"
 	"pmemaccel/internal/workload"
 )
 
@@ -51,6 +52,13 @@ type System struct {
 	// is the NVM content that survives a crash.
 	Live    *memimage.Image
 	Durable *memimage.Image
+
+	// Arb is the shared-line ownership arbiter and Commits the global
+	// durable-commit log — both nil unless some core runs a contended
+	// benchmark (workload.BankShared). Commits orders the serialization
+	// oracle; Arb's counters land in Result.Arb.
+	Arb     *txcache.LineArbiter
+	Commits *mechanism.CommitLog
 }
 
 // NewSystem generates the per-core workloads and assembles the machine.
@@ -65,9 +73,19 @@ func NewSystem(cfg Config) (*System, error) {
 	// streaming mode the measured window is deferred — each output holds
 	// a generator the core pulls records from during the run, so no
 	// materialized trace (or per-transaction history) ever exists.
+	shared := false
 	for c := 0; c < cfg.Cores; c++ {
 		bench := cfg.benchmarkFor(c)
 		p := workload.DefaultParams(bench, c, cfg.Cores, cfg.Seed, cfg.InitialSize, cfg.Ops)
+		if bench == workload.BankShared {
+			shared = true
+			if cfg.ContentionPct > 0 {
+				p.ContentionPct = cfg.ContentionPct
+			}
+			if cfg.SharedAccounts > 0 {
+				p.SharedAccounts = cfg.SharedAccounts
+			}
+		}
 		var out *workload.Output
 		if cfg.Streaming {
 			out, err = workload.NewStream(bench, p)
@@ -76,6 +94,14 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		if err != nil {
 			return nil, fmt.Errorf("pmemaccel: core %d: %w", c, err)
+		}
+		if cfg.Streaming && bench == workload.BankShared {
+			// The shared-mode serialization oracle folds per-transaction
+			// write sets in global commit order, so the contended
+			// benchmark retains its transaction history even when
+			// streaming: memory is O(committed write sets) — still far
+			// below the full record trace streaming avoids.
+			out.Recorder.SetRetainTxHistory(true)
 		}
 		s.Outputs = append(s.Outputs, out)
 	}
@@ -140,6 +166,10 @@ func NewSystem(cfg Config) (*System, error) {
 		ctxs[c] = s.Kernel.NewCtx()
 	}
 
+	if shared {
+		s.Arb = txcache.NewLineArbiter(cfg.Cores)
+		s.Commits = &mechanism.CommitLog{}
+	}
 	env := &mechanism.Env{
 		K:       s.Kernel,
 		Cores:   cfg.Cores,
@@ -151,6 +181,8 @@ func NewSystem(cfg Config) (*System, error) {
 		Probe:   s.Probe,
 		Metrics: s.Metrics,
 		Flight:  s.Flight,
+		Arb:     s.Arb,
+		Commits: s.Commits,
 	}
 	s.Mech = mechanism.New(cfg.Mechanism, env)
 	s.Hier = cache.New(s.Kernel, cfg.cacheConfig(), s.Backend, s.Mech.Hooks(), cfg.Cores)
@@ -327,6 +359,30 @@ func (s *System) ExpectedDurable() *memimage.Image {
 				img.WriteWord(addr, v)
 			}
 		})
+	}
+	if s.Commits != nil {
+		// Shared mode: committed write sets fold in the global durable
+		// commit order the machine actually produced — cross-core writes
+		// to the shared region serialize in exactly that order, so a
+		// per-core fold would be wrong whenever two cores touched the
+		// same word. Exact at quiescence (every committed transaction is
+		// durably committed once the machine drains); mid-run
+		// crash-prefix checking is a core-private-workload capability.
+		committed := make([][]trace.TxRecord, len(s.Outputs))
+		for c, out := range s.Outputs {
+			committed[c] = out.Recorder.Committed()
+		}
+		idx := make([]int, len(s.Outputs))
+		for _, c := range s.Commits.Order {
+			if idx[c] >= len(committed[c]) {
+				continue
+			}
+			for _, w := range committed[c][idx[c]].Writes {
+				img.WriteWord(w.Addr, w.Value)
+			}
+			idx[c]++
+		}
+		return img
 	}
 	for c, out := range s.Outputs {
 		if !out.Recorder.RetainsTxHistory() {
